@@ -1,0 +1,323 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (see the
+// per-experiment index in DESIGN.md), plus micro-benchmarks for the
+// formula kernels. Each experiment benchmark regenerates its artifact
+// end-to-end, so `go test -bench .` both times the pipeline and re-derives
+// every reported number; the b.Log output of a single run records the
+// headline values.
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/harness"
+	"repro/internal/nonoblivious"
+	"repro/internal/oblivious"
+	"repro/internal/response"
+	"repro/internal/sim"
+)
+
+// BenchmarkFigure1 regenerates Figure 1 (non-oblivious threshold sweep,
+// n = 3, 4, 5, δ = n/3).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure1(201)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) != 3 {
+			b.Fatalf("unexpected series count %d", len(fig.Series))
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (oblivious coin sweep, n = 3, 4,
+// 5, δ = n/3).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure2(201)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) != 3 {
+			b.Fatalf("unexpected series count %d", len(fig.Series))
+		}
+	}
+}
+
+// BenchmarkFigure3Crossover regenerates the F3 extension figure (algorithm
+// classes vs capacity at n = 4).
+func BenchmarkFigure3Crossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure3(4, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) != 3 {
+			b.Fatalf("unexpected series count %d", len(fig.Series))
+		}
+	}
+}
+
+// BenchmarkTable5ValueOfInformation regenerates the T5 extension table
+// (PY91 communication ladder, simulated + tuned).
+func BenchmarkTable5ValueOfInformation(b *testing.B) {
+	cfg := sim.Config{Trials: 30_000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.TableValueOfInformation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6BeyondThresholds regenerates the T6 extension table
+// (two-interval rule search at grid 256).
+func BenchmarkTable6BeyondThresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.TableBeyondThresholds(256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7Asymptotics regenerates the T7 extension table (scaling
+// with n at δ = n/3).
+func BenchmarkTable7Asymptotics(b *testing.B) {
+	cfg := sim.Config{Trials: 20_000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.TableAsymptotics([]int{2, 4, 8, 12, 16, 20, 24}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Oblivious regenerates T1 (Theorem 4.3 optima for
+// n = 2..10).
+func BenchmarkTable1Oblivious(b *testing.B) {
+	ns := []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.TableOblivious(ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2CaseN3 regenerates T2 (Section 5.2.1: exact piecewise
+// polynomial, optimality condition and optimum for n=3, δ=1).
+func BenchmarkTable2CaseN3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.TableCaseN3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	res, err := nonoblivious.OptimalSymmetric(3, big.NewRat(1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("T2: β* = %.9f, P* = %.9f", res.BetaFloat, res.WinProbabilityFloat)
+}
+
+// BenchmarkTable3CaseN4 regenerates T3 (Section 5.2.2: n=4, δ=4/3).
+func BenchmarkTable3CaseN4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.TableCaseN4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	res, err := nonoblivious.OptimalSymmetric(4, big.NewRat(4, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("T3: β* = %.9f, P* = %.9f", res.BetaFloat, res.WinProbabilityFloat)
+}
+
+// BenchmarkTable4Tradeoff regenerates T4 (knowledge/uniformity trade-off,
+// simulated feasibility column included).
+func BenchmarkTable4Tradeoff(b *testing.B) {
+	cfg := sim.Config{Trials: 100_000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.TableTradeoff([]int{2, 3, 4, 5, 6}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidationSweep regenerates V1 (every formula vs Monte-Carlo).
+func BenchmarkValidationSweep(b *testing.B) {
+	cfg := sim.Config{Trials: 100_000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.TableValidation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- kernel micro-benchmarks ----
+
+// BenchmarkIrwinHallCDF times the Corollary 2.6 kernel (m = 10).
+func BenchmarkIrwinHallCDF(b *testing.B) {
+	ih, err := dist.NewIrwinHall(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ih.CDF(4.2)
+	}
+}
+
+// BenchmarkUniformSumCDF times the Lemma 2.4 subset kernel (m = 12,
+// 4096 subsets per call).
+func BenchmarkUniformSumCDF(b *testing.B) {
+	widths := make([]float64, 12)
+	for i := range widths {
+		widths[i] = 0.3 + 0.05*float64(i)
+	}
+	u, err := dist.NewUniformSum(widths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = u.CDF(2.5)
+	}
+}
+
+// BenchmarkObliviousWinProbability times the Theorem 4.1 evaluation for
+// n = 20 (Poisson-binomial DP path).
+func BenchmarkObliviousWinProbability(b *testing.B) {
+	alphas := make([]float64, 20)
+	for i := range alphas {
+		alphas[i] = 0.3 + 0.02*float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := oblivious.WinningProbability(alphas, 20.0/3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThresholdWinProbabilityGeneral times the Theorem 5.1 evaluation
+// for a general 10-player threshold vector (Θ(3^n) subset path).
+func BenchmarkThresholdWinProbabilityGeneral(b *testing.B) {
+	ths := make([]float64, 10)
+	for i := range ths {
+		ths[i] = 0.4 + 0.03*float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nonoblivious.WinningProbability(ths, 10.0/3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThresholdWinProbabilitySymmetric times the O(n²) symmetric fast
+// path at n = 20.
+func BenchmarkThresholdWinProbabilitySymmetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := nonoblivious.SymmetricWinningProbability(20, 20.0/3, 0.63); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSymbolicDerivation times the full exact Section 5.2 pipeline
+// (piecewise polynomial + Sturm optimum) at n = 6, δ = 2.
+func BenchmarkSymbolicDerivation(b *testing.B) {
+	delta := big.NewRat(2, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := nonoblivious.OptimalSymmetric(6, delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResponseGridOracle times the grid-convolution winning
+// probability of a band rule at n = 4, grid 1024.
+func BenchmarkResponseGridOracle(b *testing.B) {
+	ev, err := response.NewEvaluator(4, 4.0/3, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	band, err := response.NewIntervalSet([]response.Interval{{Lo: 0.327, Hi: 0.742}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.WinProbability(band); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResponseExactRational times the exact rational interval-set
+// evaluation of the same band rule.
+func BenchmarkResponseExactRational(b *testing.B) {
+	band, err := response.NewRatIntervalSet([]response.RatInterval{
+		{Lo: big.NewRat(327, 1000), Hi: big.NewRat(742, 1000)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	capacity := big.NewRat(4, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := response.ExactWinProbability(4, capacity, band); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResponseVector times the asymmetric per-player interval
+// evaluation at n = 6.
+func BenchmarkResponseVector(b *testing.B) {
+	sets := make([]response.IntervalSet, 6)
+	for i := range sets {
+		lo := 0.2 + 0.05*float64(i)
+		s, err := response.NewIntervalSet([]response.Interval{{Lo: lo, Hi: lo + 0.4}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sets[i] = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := response.WinProbabilityVector(sets, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOneBitBroadcast times the exact evaluation of the one-bit
+// communication protocol at n = 5.
+func BenchmarkOneBitBroadcast(b *testing.B) {
+	p := comm.OneBitBroadcast{N: 5, Cut: 0.55, SenderTheta: 0.55, BetaLow: 0.55, BetaHigh: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := p.WinProbability(5.0 / 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulation times the Monte-Carlo engine at 100k rounds of the
+// n=3 optimum.
+func BenchmarkSimulation(b *testing.B) {
+	inst, err := core.NewInstance(3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	beta := 0.622
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.SimulateThreshold(beta, sim.Config{Trials: 100_000, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

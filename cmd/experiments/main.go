@@ -1,0 +1,118 @@
+// Command experiments regenerates every table and figure of the
+// reproduction in one run, writing text, CSV and SVG artifacts into an
+// output directory (default ./results). This is the one-button path behind
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	outDir := fs.String("out", "results", "output directory")
+	trials := fs.Int("trials", 400_000, "Monte-Carlo trials for simulated columns")
+	points := fs.Int("points", 201, "sweep points per figure curve")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return fmt.Errorf("creating output directory: %w", err)
+	}
+	cfg := sim.Config{Trials: *trials, Seed: *seed}
+	var summary strings.Builder
+	for _, id := range harness.IDs() {
+		exp, err := harness.Lookup(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== %s: %s ===\n", exp.ID, exp.Title)
+		switch exp.Kind {
+		case harness.KindFigure:
+			fig, err := exp.RunFigure(*points)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			ascii, err := fig.ASCII(0, 0)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Println(ascii)
+			summary.WriteString(ascii + "\n")
+			svg, err := fig.SVG(0, 0)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			base := strings.ToLower(id)
+			if err := os.WriteFile(filepath.Join(*outDir, base+".svg"), []byte(svg), 0o644); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*outDir, base+".csv"))
+			if err != nil {
+				return err
+			}
+			err = fig.WriteCSV(f)
+			cerr := f.Close()
+			if err != nil {
+				return err
+			}
+			if cerr != nil {
+				return cerr
+			}
+		case harness.KindTable:
+			tab, err := exp.RunTable(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			text, err := tab.Render()
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Println(text)
+			summary.WriteString(text + "\n")
+			base := strings.ToLower(id)
+			if err := os.WriteFile(filepath.Join(*outDir, base+".txt"), []byte(text), 0o644); err != nil {
+				return err
+			}
+			md, err := tab.Markdown()
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			if err := os.WriteFile(filepath.Join(*outDir, base+".md"), []byte(md), 0o644); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*outDir, base+".csv"))
+			if err != nil {
+				return err
+			}
+			err = tab.WriteCSV(f)
+			cerr := f.Close()
+			if err != nil {
+				return err
+			}
+			if cerr != nil {
+				return cerr
+			}
+		}
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "summary.txt"), []byte(summary.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("all artifacts written to", *outDir)
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesAllArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment regeneration is slow")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-trials", "20000", "-points", "21"}); err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := []string{
+		"f1.csv", "f1.svg", "f2.csv", "f2.svg", "f3.csv", "f3.svg",
+		"t1.txt", "t1.csv", "t1.md", "t2.txt", "t2.csv", "t2.md",
+		"t3.txt", "t3.csv", "t3.md", "t4.txt", "t4.csv", "t4.md",
+		"t5.txt", "t5.csv", "t5.md", "t6.txt", "t6.csv", "t6.md",
+		"t7.txt", "t7.csv", "t7.md", "t8.txt", "t8.csv", "t8.md", "t9.txt", "t9.csv", "t9.md",
+		"v1.txt", "v1.csv", "v1.md",
+		"summary.txt",
+	}
+	for _, f := range wantFiles {
+		path := filepath.Join(dir, f)
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("artifact %s is empty", f)
+		}
+	}
+	summary, err := os.ReadFile(filepath.Join(dir, "summary.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"0.622036", "0.677998", "T4", "V1"} {
+		if !strings.Contains(string(summary), want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag: expected error")
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr bool
+	}{
+		{"no args", nil, true},
+		{"unknown", []string{"bogus"}, true},
+		{"help", []string{"help"}, false},
+		{"list", []string{"list"}, false},
+		{"eval threshold", []string{"eval", "-n", "3", "-delta", "1", "-kind", "threshold", "-param", "0.622"}, false},
+		{"eval oblivious", []string{"eval", "-kind", "oblivious", "-param", "0.5"}, false},
+		{"eval bad kind", []string{"eval", "-kind", "quantum"}, true},
+		{"eval bad instance", []string{"eval", "-n", "1"}, true},
+		{"eval bad param", []string{"eval", "-kind", "threshold", "-param", "1.5"}, true},
+		{"optimize threshold", []string{"optimize", "-n", "3", "-delta", "1", "-kind", "threshold"}, false},
+		{"optimize oblivious", []string{"optimize", "-n", "4", "-delta", "1.3333333333333333", "-kind", "oblivious"}, false},
+		{"optimize bad kind", []string{"optimize", "-kind", "psychic"}, true},
+		{"simulate threshold", []string{"simulate", "-n", "3", "-delta", "1", "-kind", "threshold", "-param", "0.622", "-trials", "2000"}, false},
+		{"simulate oblivious", []string{"simulate", "-kind", "oblivious", "-param", "0.5", "-trials", "2000"}, false},
+		{"simulate feasibility", []string{"simulate", "-kind", "feasibility", "-trials", "2000"}, false},
+		{"simulate bad kind", []string{"simulate", "-kind", "nope", "-trials", "10"}, true},
+		{"simulate zero trials", []string{"simulate", "-trials", "0"}, true},
+		{"certify n3", []string{"certify", "-n", "3", "-delta", "1"}, false},
+		{"certify n4", []string{"certify", "-n", "4", "-delta", "1.3333333333333333"}, false},
+		{"certify bad instance", []string{"certify", "-n", "0"}, true},
+		{"certify irrational delta", []string{"certify", "-n", "3", "-delta", "1.0471975511965976"}, true},
+		{"figure missing id", []string{"figure"}, true},
+		{"figure unknown id", []string{"figure", "F9"}, true},
+		{"figure on table id", []string{"figure", "T1"}, true},
+		{"figure f1", []string{"figure", "f1", "-points", "21"}, false},
+		{"table missing id", []string{"table"}, true},
+		{"table unknown id", []string{"table", "T99"}, true},
+		{"table on figure id", []string{"table", "F1"}, true},
+		{"table t2", []string{"table", "t2"}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.args)
+			if c.wantErr && err == nil {
+				t.Errorf("run(%v): expected error", c.args)
+			}
+			if !c.wantErr && err != nil {
+				t.Errorf("run(%v): unexpected error %v", c.args, err)
+			}
+		})
+	}
+}
+
+func TestRunFigureWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "f2.svg")
+	csv := filepath.Join(dir, "f2.csv")
+	if err := run([]string{"figure", "F2", "-points", "11", "-svg", svg, "-csv", csv}); err != nil {
+		t.Fatal(err)
+	}
+	svgData, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svgData), "<svg") {
+		t.Error("SVG artifact malformed")
+	}
+	csvData, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvData), "series,") {
+		t.Error("CSV artifact malformed")
+	}
+}
+
+func TestRunTableWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "t1.csv")
+	if err := run([]string{"table", "T1", "-csv", csv}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "0.416667") {
+		t.Errorf("T1 CSV missing the 5/12 value:\n%s", data)
+	}
+}

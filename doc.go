@@ -1,0 +1,11 @@
+// Package repro reproduces Georgiades, Mavronicolas and Spirakis,
+// "Optimal, Distributed Decision-Making: The Case of No Communication"
+// (FCT 1999) as a production-quality Go library.
+//
+// The implementation lives under internal/: see internal/core for the
+// task-oriented API, DESIGN.md for the system inventory and per-experiment
+// index, and EXPERIMENTS.md for paper-vs-measured results. The root
+// package exists to carry the module documentation and the benchmark
+// harness (bench_test.go), which regenerates every table and figure of the
+// paper's evaluation under `go test -bench`.
+package repro

@@ -1,0 +1,90 @@
+// Beyond single thresholds: the paper's model (Section 3) allows a player
+// to apply ANY function of its own input, yet the analysis of Section 5
+// only searches single-threshold rules ("small inputs left, large inputs
+// right"). Is that restriction harmless?
+//
+// This example uses the library's general-response machinery to answer it
+// empirically. For n = 4, δ = 4/3 — the paper's own second case study — it
+// evaluates the optimal single threshold, the oblivious coin, and then
+// searches the two-interval family, discovering a MIDDLE-BAND rule
+// ("medium inputs left, small and large inputs right") that beats both.
+// The finding is cross-checked by Monte-Carlo simulation.
+//
+// Run with: go run ./examples/beyond
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"repro/internal/model"
+	"repro/internal/nonoblivious"
+	"repro/internal/oblivious"
+	"repro/internal/response"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("beyond: ")
+
+	const n = 4
+	capacity := big.NewRat(4, 3)
+	cf := 4.0 / 3
+	fmt.Printf("instance: n=%d, δ=4/3 (the paper's Section 5.2.2 case)\n\n", n)
+
+	// The paper's contenders.
+	thr, err := nonoblivious.OptimalSymmetric(n, capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coin, err := oblivious.Optimal(n, cf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal single threshold (paper §5.2.2): β* = %.4f  P = %.6f\n",
+		thr.BetaFloat, thr.WinProbabilityFloat)
+	fmt.Printf("oblivious fair coin (paper Thm 4.3):              P = %.6f\n\n",
+		coin.WinProbability)
+
+	// Search the two-interval family with the convolution oracle.
+	ev, err := response.NewEvaluator(n, cf, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("searching two-interval decision rules (grid-convolution oracle)...")
+	best, err := ev.OptimizeTwoInterval()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best rule found: bin 0 when x ∈ %s,  P ≈ %.6f\n\n", best.Set, best.WinProbability)
+
+	// Verify by simulation: the oracle is O(1/grid²)-approximate, the
+	// simulator is unbiased.
+	rule, err := best.Set.Rule("band")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := model.UniformSystem(n, rule, cf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.WinProbability(sys, sim.Config{Trials: 2_000_000, Seed: 404})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulation check: P = %.6f ± %.6f over %d rounds\n\n", res.P, res.StdErr, res.Trials)
+
+	switch {
+	case res.P > coin.WinProbability && res.P > thr.WinProbabilityFloat:
+		fmt.Println("=> the middle-band rule beats BOTH of the paper's algorithm classes:")
+		fmt.Println("   single-threshold rules are not optimal in the full Section 3 model.")
+		fmt.Println("   Intuition: sending mid-sized inputs to one bin concentrates that bin's")
+		fmt.Println("   load near its mean, while extremes pack efficiently in the other.")
+	default:
+		fmt.Println("=> no improvement found over the paper's classes on this instance.")
+	}
+	fmt.Println("\nFor n=3, δ=1 the same search collapses back to the single threshold 0.622 —")
+	fmt.Println("the paper's restriction is lossless there. See EXPERIMENTS.md (T6).")
+}

@@ -1,0 +1,314 @@
+package combin
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachSubsetCountsAndOrder(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		var masks []uint64
+		err := ForEachSubset(n, func(mask uint64) bool {
+			masks = append(masks, mask)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("ForEachSubset(%d): %v", n, err)
+		}
+		if len(masks) != 1<<n {
+			t.Fatalf("ForEachSubset(%d) visited %d subsets, want %d", n, len(masks), 1<<n)
+		}
+		for i, m := range masks {
+			if m != uint64(i) {
+				t.Fatalf("ForEachSubset(%d) visit %d = %d, want increasing mask order", n, i, m)
+			}
+		}
+	}
+}
+
+func TestForEachSubsetEarlyStop(t *testing.T) {
+	count := 0
+	err := ForEachSubset(10, func(mask uint64) bool {
+		count++
+		return count < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("early stop visited %d subsets, want 5", count)
+	}
+}
+
+func TestForEachSubsetRangeErrors(t *testing.T) {
+	if err := ForEachSubset(-1, func(uint64) bool { return true }); err == nil {
+		t.Error("ForEachSubset(-1): expected error")
+	}
+	if err := ForEachSubset(MaxSubsetGround+1, func(uint64) bool { return true }); err == nil {
+		t.Error("ForEachSubset(63): expected error")
+	}
+}
+
+func TestForEachSubsetGrayAdjacency(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		seen := make(map[uint64]bool)
+		var prev uint64
+		first := true
+		err := ForEachSubsetGray(n, func(mask uint64, flipped int, added bool) bool {
+			if seen[mask] {
+				t.Fatalf("n=%d: mask %b visited twice", n, mask)
+			}
+			seen[mask] = true
+			if first {
+				if mask != 0 || flipped != -1 {
+					t.Fatalf("n=%d: first visit (mask=%b flipped=%d), want empty set with flipped=-1", n, mask, flipped)
+				}
+				first = false
+			} else {
+				diff := mask ^ prev
+				if bits.OnesCount64(diff) != 1 {
+					t.Fatalf("n=%d: consecutive masks %b -> %b differ in %d bits", n, prev, mask, bits.OnesCount64(diff))
+				}
+				if flipped != bits.TrailingZeros64(diff) {
+					t.Fatalf("n=%d: reported flip %d, actual %d", n, flipped, bits.TrailingZeros64(diff))
+				}
+				if added != (mask&diff != 0) {
+					t.Fatalf("n=%d: reported added=%v disagrees with masks", n, added)
+				}
+			}
+			prev = mask
+			return true
+		})
+		if err != nil {
+			t.Fatalf("ForEachSubsetGray(%d): %v", n, err)
+		}
+		if len(seen) != 1<<n {
+			t.Fatalf("ForEachSubsetGray(%d) visited %d subsets, want %d", n, len(seen), 1<<n)
+		}
+	}
+}
+
+func TestForEachSubsetGrayEarlyStopAndErrors(t *testing.T) {
+	count := 0
+	if err := ForEachSubsetGray(8, func(uint64, int, bool) bool {
+		count++
+		return count < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("gray early stop visited %d, want 3", count)
+	}
+	if err := ForEachSubsetGray(-1, func(uint64, int, bool) bool { return true }); err == nil {
+		t.Error("ForEachSubsetGray(-1): expected error")
+	}
+}
+
+func TestForEachKSubsetEnumeration(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for k := 0; k <= n+1; k++ {
+			var visited [][]int
+			err := ForEachKSubset(n, k, func(idx []int) bool {
+				cp := make([]int, len(idx))
+				copy(cp, idx)
+				visited = append(visited, cp)
+				return true
+			})
+			if err != nil {
+				t.Fatalf("ForEachKSubset(%d, %d): %v", n, k, err)
+			}
+			want := int64(0)
+			if k <= n {
+				want = MustBinomial(n, k)
+			}
+			if int64(len(visited)) != want {
+				t.Fatalf("ForEachKSubset(%d, %d) visited %d, want %d", n, k, len(visited), want)
+			}
+			for i, s := range visited {
+				for j := 1; j < len(s); j++ {
+					if s[j] <= s[j-1] {
+						t.Fatalf("subset %v not strictly increasing", s)
+					}
+				}
+				if len(s) > 0 && (s[0] < 0 || s[len(s)-1] >= n) {
+					t.Fatalf("subset %v out of range [0, %d)", s, n)
+				}
+				if i > 0 && !lexLess(visited[i-1], s) {
+					t.Fatalf("subsets %v, %v not in lexicographic order", visited[i-1], s)
+				}
+			}
+		}
+	}
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestForEachKSubsetErrorsAndEarlyStop(t *testing.T) {
+	if err := ForEachKSubset(-1, 2, func([]int) bool { return true }); err == nil {
+		t.Error("ForEachKSubset(-1, 2): expected error")
+	}
+	if err := ForEachKSubset(3, -1, func([]int) bool { return true }); err == nil {
+		t.Error("ForEachKSubset(3, -1): expected error")
+	}
+	count := 0
+	if err := ForEachKSubset(6, 3, func([]int) bool { count++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("early stop visited %d, want 1", count)
+	}
+}
+
+func TestForEachKSubsetMaskMatchesSliceVersion(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		for k := 0; k <= n; k++ {
+			want := make(map[uint64]bool)
+			if err := ForEachKSubset(n, k, func(idx []int) bool {
+				var m uint64
+				for _, i := range idx {
+					m |= 1 << uint(i)
+				}
+				want[m] = true
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[uint64]bool)
+			if err := ForEachKSubsetMask(n, k, func(mask uint64) bool {
+				if bits.OnesCount64(mask) != k {
+					t.Fatalf("mask %b has popcount %d, want %d", mask, bits.OnesCount64(mask), k)
+				}
+				got[mask] = true
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: mask version visited %d, slice version %d", n, k, len(got), len(want))
+			}
+			for m := range want {
+				if !got[m] {
+					t.Fatalf("n=%d k=%d: mask %b missing from mask enumeration", n, k, m)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachKSubsetMaskErrors(t *testing.T) {
+	if err := ForEachKSubsetMask(63, 2, func(uint64) bool { return true }); err == nil {
+		t.Error("ForEachKSubsetMask(63, 2): expected range error")
+	}
+	if err := ForEachKSubsetMask(5, -1, func(uint64) bool { return true }); err == nil {
+		t.Error("ForEachKSubsetMask(5, -1): expected error")
+	}
+}
+
+func TestMaskIndicesAndSum(t *testing.T) {
+	idx := MaskIndices(0b10110, nil)
+	want := []int{1, 2, 4}
+	if len(idx) != len(want) {
+		t.Fatalf("MaskIndices = %v, want %v", idx, want)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("MaskIndices = %v, want %v", idx, want)
+		}
+	}
+	vals := []float64{0.5, 1.5, 2.5, 3.5, 4.5}
+	if got := MaskSum(0b10110, vals); got != 1.5+2.5+4.5 {
+		t.Errorf("MaskSum = %g, want %g", got, 1.5+2.5+4.5)
+	}
+	if got := MaskSum(0, vals); got != 0 {
+		t.Errorf("MaskSum(empty) = %g, want 0", got)
+	}
+}
+
+func TestMaskSumMatchesIndicesProperty(t *testing.T) {
+	vals := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	f := func(m uint8) bool {
+		mask := uint64(m)
+		var s float64
+		for _, i := range MaskIndices(mask, nil) {
+			s += vals[i]
+		}
+		return s == MaskSum(mask, vals) && s == float64(mask)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachCompositionEnumeration(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		for k := 1; k <= 5; k++ {
+			count := 0
+			seen := make(map[string]bool)
+			err := ForEachComposition(n, k, func(parts []int) bool {
+				if len(parts) != k {
+					t.Fatalf("composition %v has %d parts, want %d", parts, len(parts), k)
+				}
+				sum := 0
+				key := ""
+				for _, p := range parts {
+					if p < 0 {
+						t.Fatalf("negative part in %v", parts)
+					}
+					sum += p
+					key += string(rune('a'+p)) + ","
+				}
+				if sum != n {
+					t.Fatalf("composition %v sums to %d, want %d", parts, sum, n)
+				}
+				if seen[key] {
+					t.Fatalf("composition %v visited twice", parts)
+				}
+				seen[key] = true
+				count++
+				return true
+			})
+			if err != nil {
+				t.Fatalf("ForEachComposition(%d, %d): %v", n, k, err)
+			}
+			want := MustBinomial(n+k-1, k-1)
+			if int64(count) != want {
+				t.Fatalf("ForEachComposition(%d, %d) visited %d, want %d", n, k, count, want)
+			}
+		}
+	}
+}
+
+func TestForEachCompositionEdgeCases(t *testing.T) {
+	// k = 0: exactly one (empty) composition when n = 0, none otherwise.
+	calls := 0
+	if err := ForEachComposition(0, 0, func([]int) bool { calls++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("ForEachComposition(0, 0) visited %d, want 1", calls)
+	}
+	calls = 0
+	if err := ForEachComposition(3, 0, func([]int) bool { calls++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("ForEachComposition(3, 0) visited %d, want 0", calls)
+	}
+	if err := ForEachComposition(-1, 2, func([]int) bool { return true }); err == nil {
+		t.Error("ForEachComposition(-1, 2): expected error")
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	if Popcount(0) != 0 || Popcount(0b1011) != 3 || Popcount(^uint64(0)) != 64 {
+		t.Error("Popcount returned wrong values")
+	}
+}

@@ -1,0 +1,183 @@
+package comm
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/nonoblivious"
+	"repro/internal/stats"
+)
+
+func TestValidate(t *testing.T) {
+	good := OneBitBroadcast{N: 3, Cut: 0.5, SenderTheta: 0.6, BetaLow: 0.5, BetaHigh: 0.7}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid protocol rejected: %v", err)
+	}
+	cases := []OneBitBroadcast{
+		{N: 1, Cut: 0.5, SenderTheta: 0.5, BetaLow: 0.5, BetaHigh: 0.5},
+		{N: 11, Cut: 0.5, SenderTheta: 0.5, BetaLow: 0.5, BetaHigh: 0.5},
+		{N: 3, Cut: -0.1, SenderTheta: 0.5, BetaLow: 0.5, BetaHigh: 0.5},
+		{N: 3, Cut: 0.5, SenderTheta: 1.5, BetaLow: 0.5, BetaHigh: 0.5},
+		{N: 3, Cut: 0.5, SenderTheta: 0.5, BetaLow: math.NaN(), BetaHigh: 0.5},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDegenerateCutMatchesNoCommunication(t *testing.T) {
+	// Cut = 0: the bit is always 1, so the protocol is the symmetric
+	// threshold algorithm at BetaHigh (with the sender at SenderTheta).
+	beta := 0.622
+	p := OneBitBroadcast{N: 3, Cut: 0, SenderTheta: beta, BetaLow: 0.1, BetaHigh: beta}
+	got, err := p.WinProbability(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := nonoblivious.SymmetricWinningProbability(3, 1, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-10 {
+		t.Errorf("cut=0 protocol %v vs no-communication %v", got, want)
+	}
+	// Cut = 1 symmetrically uses BetaLow.
+	p = OneBitBroadcast{N: 3, Cut: 1, SenderTheta: beta, BetaLow: beta, BetaHigh: 0.9}
+	got, err = p.WinProbability(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-10 {
+		t.Errorf("cut=1 protocol %v vs no-communication %v", got, want)
+	}
+}
+
+func TestWinProbabilityMatchesSimulation(t *testing.T) {
+	p := OneBitBroadcast{N: 4, Cut: 0.45, SenderTheta: 0.62, BetaLow: 0.5, BetaHigh: 0.75}
+	capacity := 4.0 / 3
+	analytic, err := p.WinProbability(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual simulation threading the broadcast bit.
+	rng := rand.New(rand.NewPCG(77, 88))
+	var prop stats.Proportion
+	const trials = 400000
+	for i := 0; i < trials; i++ {
+		x0 := rng.Float64()
+		bit := 0
+		if x0 > p.Cut {
+			bit = 1
+		}
+		rules, err := p.Rules(bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var load0, load1 float64
+		// Sender.
+		b, err := rules[0].Decide(x0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == 0 {
+			load0 += x0
+		} else {
+			load1 += x0
+		}
+		for j := 1; j < p.N; j++ {
+			x := rng.Float64()
+			b, err := rules[j].Decide(x, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == 0 {
+				load0 += x
+			} else {
+				load1 += x
+			}
+		}
+		prop.Add(load0 <= capacity && load1 <= capacity)
+	}
+	if math.Abs(prop.Estimate()-analytic) > 4*prop.StdErr() {
+		t.Errorf("analytic %v vs simulated %v ± %v", analytic, prop.Estimate(), prop.StdErr())
+	}
+}
+
+func TestWinProbabilityValidation(t *testing.T) {
+	p := OneBitBroadcast{N: 3, Cut: 0.5, SenderTheta: 0.5, BetaLow: 0.5, BetaHigh: 0.5}
+	if _, err := p.WinProbability(0); err == nil {
+		t.Error("zero capacity: expected error")
+	}
+	bad := OneBitBroadcast{N: 1}
+	if _, err := bad.WinProbability(1); err == nil {
+		t.Error("invalid protocol: expected error")
+	}
+}
+
+func TestRulesValidation(t *testing.T) {
+	p := OneBitBroadcast{N: 3, Cut: 0.5, SenderTheta: 0.5, BetaLow: 0.4, BetaHigh: 0.7}
+	if _, err := p.Rules(2); err == nil {
+		t.Error("bit=2: expected error")
+	}
+	rules, err := p.Rules(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	// Listener with bit=1 uses BetaHigh.
+	b, err := rules[1].Decide(0.6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 0 { // 0.6 ≤ 0.7 → bin 0
+		t.Error("listener should use BetaHigh = 0.7 when bit = 1")
+	}
+}
+
+func TestOneBitBeatsNoCommunication(t *testing.T) {
+	// The paper's value-of-information thesis at general n, exactly: one
+	// broadcast bit strictly improves the optimal winning probability.
+	cases := []struct {
+		n        int
+		capacity float64
+		betaStar float64
+		noComm   float64
+	}{
+		{3, 1, 0.622036, 0.544631},
+		{4, 4.0 / 3, 0.677998, 0.428539},
+	}
+	for _, c := range cases {
+		res, err := Optimize(c.n, c.capacity, c.betaStar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WinProbability < c.noComm-1e-9 {
+			t.Errorf("n=%d: one-bit optimum %v fell below no-communication %v",
+				c.n, res.WinProbability, c.noComm)
+		}
+		if res.WinProbability < c.noComm+0.005 {
+			t.Errorf("n=%d: one bit should strictly help (got %v vs %v)",
+				c.n, res.WinProbability, c.noComm)
+		}
+		t.Logf("n=%d δ=%.3f: one-bit broadcast %.6f vs no-comm %.6f (cut %.3f, θ %.3f, β %.3f/%.3f)",
+			c.n, c.capacity, res.WinProbability, c.noComm,
+			res.Protocol.Cut, res.Protocol.SenderTheta, res.Protocol.BetaLow, res.Protocol.BetaHigh)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	if _, err := Optimize(1, 1, 0.5); err == nil {
+		t.Error("n=1: expected error")
+	}
+	if _, err := Optimize(3, 0, 0.5); err == nil {
+		t.Error("zero capacity: expected error")
+	}
+	if _, err := Optimize(3, 1, 1.5); err == nil {
+		t.Error("betaStar > 1: expected error")
+	}
+}

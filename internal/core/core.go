@@ -1,0 +1,227 @@
+// Package core is the public face of the reproduction of Georgiades,
+// Mavronicolas and Spirakis, "Optimal, Distributed Decision-Making: The
+// Case of No Communication" (FCT 1999).
+//
+// It ties the substrate packages together behind a small, task-oriented
+// API:
+//
+//   - describe an instance (n players, bin capacity δ),
+//   - compute exact winning probabilities for oblivious (Theorem 4.1) and
+//     single-threshold (Theorem 5.1) algorithms,
+//   - derive certified optima (Theorem 4.3 and the Section 5.2 analysis),
+//   - build runnable systems for the simulator and cross-check theory
+//     against Monte-Carlo estimates.
+//
+// Downstream users who need finer control can reach the underlying
+// packages directly (dist for the Section 2.2 distributions, poly for the
+// symbolic machinery, sim for the engine, py91 for the 1991 baseline).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/model"
+	"repro/internal/nonoblivious"
+	"repro/internal/oblivious"
+	"repro/internal/sim"
+)
+
+// Instance is one distributed decision-making problem: N players with
+// U[0,1] inputs and two bins of capacity Delta, no communication.
+type Instance struct {
+	// N is the number of players (n ≥ 2).
+	N int
+	// Delta is the bin capacity (the paper's δ = t > 0).
+	Delta float64
+}
+
+// NewInstance validates and returns an instance.
+func NewInstance(n int, delta float64) (Instance, error) {
+	if n < 2 {
+		return Instance{}, fmt.Errorf("core: need at least 2 players, got %d", n)
+	}
+	if !(delta > 0) || math.IsInf(delta, 1) {
+		return Instance{}, fmt.Errorf("core: capacity %v must be strictly positive and finite", delta)
+	}
+	return Instance{N: n, Delta: delta}, nil
+}
+
+// PaperInstance returns the paper's scaling δ = n/3 for the given n (δ=1
+// at n=3, δ=4/3 at n=4, ...).
+func PaperInstance(n int) (Instance, error) {
+	return NewInstance(n, float64(n)/3)
+}
+
+// DeltaRat returns the capacity as an exact rational when it is one (the
+// paper's instances all are); it reports ok=false when Delta is not
+// exactly representable as a small fraction.
+func (inst Instance) DeltaRat() (r *big.Rat, ok bool) {
+	r = new(big.Rat).SetFloat64(inst.Delta)
+	if r == nil {
+		return nil, false
+	}
+	// Accept only small denominators: the paper's δ are n/3-style
+	// fractions; float64 artifacts produce huge denominators.
+	if r.Denom().BitLen() > 20 {
+		// Try to snap to a nearby small fraction k/d, d ≤ 64.
+		for d := int64(1); d <= 64; d++ {
+			num := math.Round(inst.Delta * float64(d))
+			if math.Abs(inst.Delta-num/float64(d)) < 1e-12 {
+				return big.NewRat(int64(num), d), true
+			}
+		}
+		return nil, false
+	}
+	return r, true
+}
+
+// ObliviousWinProbability evaluates Theorem 4.1 for a general probability
+// vector (alphas[i] = P(player i chooses bin 0)).
+func (inst Instance) ObliviousWinProbability(alphas []float64) (float64, error) {
+	if len(alphas) != inst.N {
+		return 0, fmt.Errorf("core: %d probabilities for %d players", len(alphas), inst.N)
+	}
+	return oblivious.WinningProbability(alphas, inst.Delta)
+}
+
+// SymmetricObliviousWinProbability evaluates Theorem 4.1 when every player
+// plays bin 0 with the same probability a (the Figure 2 curve).
+func (inst Instance) SymmetricObliviousWinProbability(a float64) (float64, error) {
+	return oblivious.SymmetricWinningProbability(inst.N, inst.Delta, a)
+}
+
+// ThresholdWinProbability evaluates Theorem 5.1 for a general threshold
+// vector.
+func (inst Instance) ThresholdWinProbability(thresholds []float64) (float64, error) {
+	if len(thresholds) != inst.N {
+		return 0, fmt.Errorf("core: %d thresholds for %d players", len(thresholds), inst.N)
+	}
+	return nonoblivious.WinningProbability(thresholds, inst.Delta)
+}
+
+// SymmetricThresholdWinProbability evaluates Theorem 5.1 when every player
+// uses the common threshold β (the Figure 1 curve).
+func (inst Instance) SymmetricThresholdWinProbability(beta float64) (float64, error) {
+	return nonoblivious.SymmetricWinningProbability(inst.N, inst.Delta, beta)
+}
+
+// OptimalOblivious returns the Theorem 4.3 optimum (α = 1/2 uniformly; see
+// the oblivious package for the deterministic-vertex caveat this
+// reproduction documents).
+func (inst Instance) OptimalOblivious() (oblivious.OptimalResult, error) {
+	return oblivious.Optimal(inst.N, inst.Delta)
+}
+
+// OptimalObliviousDeterministic returns the best deterministic oblivious
+// algorithm (the balanced-partition vertex optimum).
+func (inst Instance) OptimalObliviousDeterministic() (oblivious.DeterministicResult, error) {
+	return oblivious.OptimalDeterministic(inst.N, inst.Delta)
+}
+
+// OptimalThreshold returns the certified optimal symmetric threshold
+// (Section 5.2): the exact piecewise polynomial P(β), the Sturm-isolated
+// β*, and the optimal winning probability. The capacity must be exactly
+// rational (DeltaRat).
+func (inst Instance) OptimalThreshold() (nonoblivious.OptimalResult, error) {
+	d, ok := inst.DeltaRat()
+	if !ok {
+		return nonoblivious.OptimalResult{}, fmt.Errorf("core: capacity %v is not an exact rational; use nonoblivious.OptimalSymmetric directly", inst.Delta)
+	}
+	return nonoblivious.OptimalSymmetric(inst.N, d)
+}
+
+// ObliviousSystem builds a runnable system where every player plays bin 0
+// with probability a.
+func (inst Instance) ObliviousSystem(a float64) (*model.System, error) {
+	rule, err := model.NewObliviousRule(a)
+	if err != nil {
+		return nil, err
+	}
+	return model.UniformSystem(inst.N, rule, inst.Delta)
+}
+
+// ThresholdSystem builds a runnable system where every player uses the
+// common threshold β.
+func (inst Instance) ThresholdSystem(beta float64) (*model.System, error) {
+	rule, err := model.NewThresholdRule(beta)
+	if err != nil {
+		return nil, err
+	}
+	return model.UniformSystem(inst.N, rule, inst.Delta)
+}
+
+// SimulateThreshold estimates the symmetric-threshold winning probability
+// by simulation; it is the empirical counterpart of
+// SymmetricThresholdWinProbability.
+func (inst Instance) SimulateThreshold(beta float64, cfg sim.Config) (sim.Result, error) {
+	sys, err := inst.ThresholdSystem(beta)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.WinProbability(sys, cfg)
+}
+
+// SimulateOblivious estimates the symmetric-oblivious winning probability
+// by simulation.
+func (inst Instance) SimulateOblivious(a float64, cfg sim.Config) (sim.Result, error) {
+	sys, err := inst.ObliviousSystem(a)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.WinProbability(sys, cfg)
+}
+
+// FeasibilityUpperBound estimates the omniscient benchmark: the
+// probability that any assignment at all fits both bins.
+func (inst Instance) FeasibilityUpperBound(cfg sim.Config) (sim.Result, error) {
+	return sim.FeasibilityProbability(inst.N, inst.Delta, cfg)
+}
+
+// Tradeoff is one row of the knowledge/uniformity trade-off table (T4):
+// the paper's three algorithm classes plus the omniscient bound on one
+// instance.
+type Tradeoff struct {
+	// Instance identifies the row.
+	Instance Instance
+	// ObliviousHalf is the Theorem 4.3 value at α = 1/2.
+	ObliviousHalf float64
+	// ObliviousDeterministic is the balanced-partition vertex optimum.
+	ObliviousDeterministic float64
+	// ThresholdOptimum is the Section 5.2 optimal threshold value, with
+	// OptimalBeta its argmax.
+	ThresholdOptimum float64
+	OptimalBeta      float64
+	// Feasibility is the simulated omniscient upper bound.
+	Feasibility float64
+}
+
+// ComputeTradeoff assembles the trade-off row for the instance, using cfg
+// for the simulated feasibility column.
+func (inst Instance) ComputeTradeoff(cfg sim.Config) (Tradeoff, error) {
+	obl, err := inst.OptimalOblivious()
+	if err != nil {
+		return Tradeoff{}, err
+	}
+	det, err := inst.OptimalObliviousDeterministic()
+	if err != nil {
+		return Tradeoff{}, err
+	}
+	thr, err := inst.OptimalThreshold()
+	if err != nil {
+		return Tradeoff{}, err
+	}
+	feas, err := inst.FeasibilityUpperBound(cfg)
+	if err != nil {
+		return Tradeoff{}, err
+	}
+	return Tradeoff{
+		Instance:               inst,
+		ObliviousHalf:          obl.WinProbability,
+		ObliviousDeterministic: det.WinProbability,
+		ThresholdOptimum:       thr.WinProbabilityFloat,
+		OptimalBeta:            thr.BetaFloat,
+		Feasibility:            feas.P,
+	}, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNewInstanceValidation(t *testing.T) {
+	if _, err := NewInstance(1, 1); err == nil {
+		t.Error("n=1: expected error")
+	}
+	if _, err := NewInstance(3, 0); err == nil {
+		t.Error("zero capacity: expected error")
+	}
+	if _, err := NewInstance(3, math.Inf(1)); err == nil {
+		t.Error("infinite capacity: expected error")
+	}
+	inst, err := NewInstance(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.N != 3 || inst.Delta != 1 {
+		t.Errorf("instance = %+v", inst)
+	}
+}
+
+func TestPaperInstanceScaling(t *testing.T) {
+	inst, err := PaperInstance(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.N != 4 || math.Abs(inst.Delta-4.0/3) > 1e-15 {
+		t.Errorf("PaperInstance(4) = %+v, want δ = 4/3", inst)
+	}
+	if _, err := PaperInstance(1); err == nil {
+		t.Error("n=1: expected error")
+	}
+}
+
+func TestDeltaRat(t *testing.T) {
+	inst, err := PaperInstance(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := inst.DeltaRat()
+	if !ok {
+		t.Fatal("δ = 4/3 should be recognized as rational")
+	}
+	if r.Cmp(big.NewRat(4, 3)) != 0 {
+		t.Errorf("DeltaRat = %v, want 4/3", r)
+	}
+	exact, err := NewInstance(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok = exact.DeltaRat()
+	if !ok || r.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Errorf("DeltaRat(0.5) = %v, %v", r, ok)
+	}
+	irr, err := NewInstance(3, math.Pi/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := irr.DeltaRat(); ok {
+		t.Error("π/3 should not be recognized as a small rational")
+	}
+}
+
+func TestWinProbabilityWrappers(t *testing.T) {
+	inst, err := NewInstance(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := inst.ObliviousWinProbability([]float64{0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-5.0/12) > 1e-14 {
+		t.Errorf("oblivious P = %v, want 5/12", p)
+	}
+	if _, err := inst.ObliviousWinProbability([]float64{0.5}); err == nil {
+		t.Error("wrong vector length: expected error")
+	}
+	ps, err := inst.SymmetricObliviousWinProbability(0.5)
+	if err != nil || math.Abs(ps-p) > 1e-14 {
+		t.Errorf("symmetric wrapper mismatch: %v vs %v (err=%v)", ps, p, err)
+	}
+	pt, err := inst.ThresholdWinProbability([]float64{0.622, 0.622, 0.622})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := inst.SymmetricThresholdWinProbability(0.622)
+	if err != nil || math.Abs(pt-pts) > 1e-12 {
+		t.Errorf("threshold wrappers mismatch: %v vs %v (err=%v)", pt, pts, err)
+	}
+	if _, err := inst.ThresholdWinProbability([]float64{0.5}); err == nil {
+		t.Error("wrong vector length: expected error")
+	}
+}
+
+func TestOptimaWrappers(t *testing.T) {
+	inst, err := NewInstance(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obl, err := inst.OptimalOblivious()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obl.WinProbability-5.0/12) > 1e-14 {
+		t.Errorf("oblivious optimum = %v", obl.WinProbability)
+	}
+	det, err := inst.OptimalObliviousDeterministic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(det.WinProbability-0.5) > 1e-14 {
+		t.Errorf("deterministic optimum = %v, want 1/2", det.WinProbability)
+	}
+	thr, err := inst.OptimalThreshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(thr.BetaFloat-(1-math.Sqrt(1.0/7))) > 1e-14 {
+		t.Errorf("threshold optimum β* = %v", thr.BetaFloat)
+	}
+	irr, err := NewInstance(3, math.Pi/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := irr.OptimalThreshold(); err == nil {
+		t.Error("irrational capacity: expected error from OptimalThreshold")
+	}
+}
+
+func TestSystemBuildersAndSimulation(t *testing.T) {
+	inst, err := NewInstance(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Trials: 200000, Seed: 9}
+	beta := 1 - math.Sqrt(1.0/7)
+	simRes, err := inst.SimulateThreshold(beta, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := inst.SymmetricThresholdWinProbability(beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(simRes.P-exact) > 4*simRes.StdErr {
+		t.Errorf("threshold sim %v ± %v vs exact %v", simRes.P, simRes.StdErr, exact)
+	}
+	oblRes, err := inst.SimulateOblivious(0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(oblRes.P-5.0/12) > 4*oblRes.StdErr {
+		t.Errorf("oblivious sim %v ± %v vs 5/12", oblRes.P, oblRes.StdErr)
+	}
+	feas, err := inst.FeasibilityUpperBound(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(feas.P-0.75) > 4*feas.StdErr {
+		t.Errorf("feasibility %v ± %v vs 3/4", feas.P, feas.StdErr)
+	}
+	if _, err := inst.ThresholdSystem(1.5); err == nil {
+		t.Error("bad threshold: expected error")
+	}
+	if _, err := inst.ObliviousSystem(-0.5); err == nil {
+		t.Error("bad probability: expected error")
+	}
+}
+
+func TestComputeTradeoffOrdering(t *testing.T) {
+	inst, err := NewInstance(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := inst.ComputeTradeoff(sim.Config{Trials: 150000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ladder for n=3, δ=1: oblivious 1/2 (5/12) < deterministic split
+	// (1/2) < threshold optimum (0.5446) < feasibility (3/4).
+	if !(row.ObliviousHalf < row.ObliviousDeterministic &&
+		row.ObliviousDeterministic < row.ThresholdOptimum &&
+		row.ThresholdOptimum < row.Feasibility) {
+		t.Errorf("trade-off ordering violated: %+v", row)
+	}
+	if math.Abs(row.OptimalBeta-(1-math.Sqrt(1.0/7))) > 1e-12 {
+		t.Errorf("optimal β = %v", row.OptimalBeta)
+	}
+}

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// ExampleInstance_SymmetricThresholdWinProbability evaluates Theorem 5.1
+// for the paper's flagship instance at the naive threshold 1/2.
+func ExampleInstance_SymmetricThresholdWinProbability() {
+	inst, err := core.NewInstance(3, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	p, err := inst.SymmetricThresholdWinProbability(0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(win) at β=1/2: %.6f\n", p)
+	// Output:
+	// P(win) at β=1/2: 0.479167
+}
+
+// ExampleInstance_OptimalThreshold derives the paper's Section 5.2.1
+// headline result: the certified optimal threshold for three players.
+func ExampleInstance_OptimalThreshold() {
+	inst, err := core.NewInstance(3, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	opt, err := inst.OptimalThreshold()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("β* = %.6f (= 1 - √(1/7): %v)\n", opt.BetaFloat,
+		math.Abs(opt.BetaFloat-(1-math.Sqrt(1.0/7))) < 1e-12)
+	fmt.Printf("P* = %.6f\n", opt.WinProbabilityFloat)
+	fmt.Printf("optimality condition: %s = 0\n", opt.Condition)
+	// Output:
+	// β* = 0.622036 (= 1 - √(1/7): true)
+	// P* = 0.544631
+	// optimality condition: 21/2·x^2 - 21·x + 9 = 0
+}
+
+// ExampleInstance_OptimalOblivious shows the Theorem 4.3 uniform optimum
+// and the deterministic vertex optimum this reproduction documents.
+func ExampleInstance_OptimalOblivious() {
+	inst, err := core.NewInstance(3, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	obl, err := inst.OptimalOblivious()
+	if err != nil {
+		panic(err)
+	}
+	det, err := inst.OptimalObliviousDeterministic()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("symmetric optimum: α = %.1f, P = %.6f\n", obl.Alpha, obl.WinProbability)
+	fmt.Printf("vertex optimum: %d of %d players to bin 1, P = %.6f\n",
+		det.Bin1Count, det.N, det.WinProbability)
+	// Output:
+	// symmetric optimum: α = 0.5, P = 0.416667
+	// vertex optimum: 1 of 3 players to bin 1, P = 0.500000
+}

@@ -1,0 +1,208 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand/v2"
+
+	"repro/internal/combin"
+)
+
+// MaxIrwinHallN bounds the Irwin-Hall order for which the alternating
+// binomial series of Corollary 2.6 remains numerically trustworthy in
+// float64 (catastrophic cancellation sets in around m ≈ 25-30; the exact
+// rational path has no such limit within MaxIrwinHallRatN).
+const MaxIrwinHallN = 25
+
+// MaxIrwinHallRatN bounds the exact rational Irwin-Hall order.
+const MaxIrwinHallRatN = 200
+
+// IrwinHall is the distribution of the sum of m independent U[0,1] random
+// variables (Corollary 2.6 of the paper). The degenerate case m = 0 — the
+// empty sum, identically zero — is allowed because the winning-probability
+// formulas sum over decision vectors that may leave a bin empty.
+type IrwinHall struct {
+	m int
+}
+
+// NewIrwinHall constructs the Irwin-Hall distribution of order m ≥ 0.
+func NewIrwinHall(m int) (*IrwinHall, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("dist: Irwin-Hall order %d must be non-negative", m)
+	}
+	if m > MaxIrwinHallN {
+		return nil, fmt.Errorf("dist: float64 Irwin-Hall limited to order %d, got %d (use CDFRat)", MaxIrwinHallN, m)
+	}
+	return &IrwinHall{m: m}, nil
+}
+
+// N returns the order m.
+func (ih *IrwinHall) N() int { return ih.m }
+
+// Mean returns m/2.
+func (ih *IrwinHall) Mean() float64 { return float64(ih.m) / 2 }
+
+// Variance returns m/12.
+func (ih *IrwinHall) Variance() float64 { return float64(ih.m) / 12 }
+
+// Support returns [0, m].
+func (ih *IrwinHall) Support() (lo, hi float64) { return 0, float64(ih.m) }
+
+// CDF evaluates Corollary 2.6,
+//
+//	F_m(t) = (1/m!) Σ_{0 ≤ i ≤ m, i < t} (-1)^i C(m, i) (t - i)^m,
+//
+// clamped to [0, 1]. For m = 0 the empty sum is identically zero, so
+// F_0(t) = 1 for t ≥ 0 and 0 otherwise.
+func (ih *IrwinHall) CDF(t float64) float64 {
+	if ih.m == 0 {
+		if t >= 0 {
+			return 1
+		}
+		return 0
+	}
+	if t <= 0 {
+		return 0
+	}
+	if t >= float64(ih.m) {
+		return 1
+	}
+	m := ih.m
+	sum, err := combin.SignedBinomialSum(m,
+		func(i int) bool { return float64(i) < t },
+		func(i int) float64 { return math.Pow(t-float64(i), float64(m)) })
+	if err != nil {
+		// Unreachable: guards and terms are non-nil and m is validated.
+		return math.NaN()
+	}
+	f, err := combin.FactorialFloat(m)
+	if err != nil {
+		return math.NaN()
+	}
+	return clamp01(sum / f)
+}
+
+// PDF evaluates the Irwin-Hall density, the m = "all ones" case of
+// Lemma 2.5:
+//
+//	f_m(t) = (1/(m-1)!) Σ_{0 ≤ i ≤ m, i < t} (-1)^i C(m, i) (t - i)^(m-1).
+//
+// The density is 0 outside the open support, and the m = 0 point mass has
+// no density (PDF returns 0 everywhere for m = 0).
+func (ih *IrwinHall) PDF(t float64) float64 {
+	if ih.m == 0 {
+		return 0
+	}
+	if t <= 0 || t >= float64(ih.m) {
+		return 0
+	}
+	m := ih.m
+	sum, err := combin.SignedBinomialSum(m,
+		func(i int) bool { return float64(i) < t },
+		func(i int) float64 { return math.Pow(t-float64(i), float64(m-1)) })
+	if err != nil {
+		return math.NaN()
+	}
+	f, err := combin.FactorialFloat(m - 1)
+	if err != nil {
+		return math.NaN()
+	}
+	v := sum / f
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Quantile returns the t with CDF(t) = p, found by bisection with Newton
+// polish. It returns an error if p is outside [0, 1].
+func (ih *IrwinHall) Quantile(p float64) (float64, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("dist: quantile probability %v outside [0, 1]", p)
+	}
+	if ih.m == 0 {
+		return 0, nil
+	}
+	if p == 0 {
+		return 0, nil
+	}
+	if p == 1 {
+		return float64(ih.m), nil
+	}
+	lo, hi := 0.0, float64(ih.m)
+	for i := 0; i < 200 && hi-lo > 1e-14; i++ {
+		mid := (lo + hi) / 2
+		if ih.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// Sample draws one value of the sum. It returns an error if rng is nil.
+func (ih *IrwinHall) Sample(rng *rand.Rand) (float64, error) {
+	if rng == nil {
+		return 0, fmt.Errorf("dist: nil random source")
+	}
+	var s float64
+	for i := 0; i < ih.m; i++ {
+		s += rng.Float64()
+	}
+	return s, nil
+}
+
+// IrwinHallCDF is a convenience wrapper evaluating F_m(t) without
+// constructing a distribution value. It returns an error for invalid m.
+func IrwinHallCDF(m int, t float64) (float64, error) {
+	ih, err := NewIrwinHall(m)
+	if err != nil {
+		return 0, err
+	}
+	return ih.CDF(t), nil
+}
+
+// IrwinHallCDFRat evaluates Corollary 2.6 exactly at a rational point.
+// Orders up to MaxIrwinHallRatN are supported; m = 0 follows the same
+// point-mass convention as CDF.
+func IrwinHallCDFRat(m int, t *big.Rat) (*big.Rat, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("dist: Irwin-Hall order %d must be non-negative", m)
+	}
+	if m > MaxIrwinHallRatN {
+		return nil, fmt.Errorf("dist: exact Irwin-Hall limited to order %d, got %d", MaxIrwinHallRatN, m)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("dist: nil threshold")
+	}
+	if m == 0 {
+		if t.Sign() >= 0 {
+			return big.NewRat(1, 1), nil
+		}
+		return new(big.Rat), nil
+	}
+	if t.Sign() <= 0 {
+		return new(big.Rat), nil
+	}
+	if t.Cmp(new(big.Rat).SetInt64(int64(m))) >= 0 {
+		return big.NewRat(1, 1), nil
+	}
+	sum, err := combin.SignedBinomialSumRat(m,
+		func(i int) bool {
+			return new(big.Rat).SetInt64(int64(i)).Cmp(t) < 0
+		},
+		func(i int) *big.Rat {
+			d := new(big.Rat).Sub(t, new(big.Rat).SetInt64(int64(i)))
+			return ratPow(d, m)
+		})
+	if err != nil {
+		return nil, err
+	}
+	invFact, err := combin.InvFactorialRat(m)
+	if err != nil {
+		return nil, err
+	}
+	return sum.Mul(sum, invFact), nil
+}

@@ -1,0 +1,311 @@
+package dist
+
+import (
+	"math"
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIrwinHallValidation(t *testing.T) {
+	if _, err := NewIrwinHall(-1); err == nil {
+		t.Error("negative order: expected error")
+	}
+	if _, err := NewIrwinHall(MaxIrwinHallN + 1); err == nil {
+		t.Error("over-limit order: expected error")
+	}
+	ih, err := NewIrwinHall(0)
+	if err != nil {
+		t.Fatalf("order 0 should be allowed: %v", err)
+	}
+	if ih.N() != 0 {
+		t.Errorf("N = %d, want 0", ih.N())
+	}
+}
+
+func TestIrwinHallDegenerateOrderZero(t *testing.T) {
+	ih, err := NewIrwinHall(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ih.CDF(0); got != 1 {
+		t.Errorf("F_0(0) = %v, want 1 (point mass at 0)", got)
+	}
+	if got := ih.CDF(-0.5); got != 0 {
+		t.Errorf("F_0(-0.5) = %v, want 0", got)
+	}
+	if got := ih.CDF(3); got != 1 {
+		t.Errorf("F_0(3) = %v, want 1", got)
+	}
+	if got := ih.PDF(0.5); got != 0 {
+		t.Errorf("f_0(0.5) = %v, want 0", got)
+	}
+	q, err := ih.Quantile(0.7)
+	if err != nil || q != 0 {
+		t.Errorf("Quantile(0.7) = %v, %v; want 0, nil", q, err)
+	}
+}
+
+func TestIrwinHallKnownValues(t *testing.T) {
+	cases := []struct {
+		m    int
+		t    float64
+		want float64
+	}{
+		{1, 0.3, 0.3}, // uniform CDF
+		{1, 1.0, 1.0},
+		{2, 1.0, 0.5}, // triangle distribution
+		{2, 0.5, 0.125},
+		{2, 1.5, 0.875},
+		{3, 1.0, 1.0 / 6}, // unit simplex volume
+		{3, 1.5, 0.5},     // symmetry at the mean
+		{3, 2.0, 5.0 / 6},
+		{4, 2.0, 0.5},
+		{5, 2.5, 0.5},
+	}
+	for _, c := range cases {
+		got, err := IrwinHallCDF(c.m, c.t)
+		if err != nil {
+			t.Fatalf("IrwinHallCDF(%d, %v): %v", c.m, c.t, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("F_%d(%v) = %.15f, want %.15f", c.m, c.t, got, c.want)
+		}
+	}
+}
+
+func TestIrwinHallCDFBoundaries(t *testing.T) {
+	ih, err := NewIrwinHall(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ih.CDF(0) != 0 || ih.CDF(-1) != 0 {
+		t.Error("CDF below support should be 0")
+	}
+	if ih.CDF(4) != 1 || ih.CDF(10) != 1 {
+		t.Error("CDF above support should be 1")
+	}
+	lo, hi := ih.Support()
+	if lo != 0 || hi != 4 {
+		t.Errorf("support = [%v, %v], want [0, 4]", lo, hi)
+	}
+}
+
+func TestIrwinHallMoments(t *testing.T) {
+	ih, err := NewIrwinHall(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ih.Mean() != 3.5 {
+		t.Errorf("mean = %v, want 3.5", ih.Mean())
+	}
+	if math.Abs(ih.Variance()-7.0/12) > 1e-15 {
+		t.Errorf("variance = %v, want 7/12", ih.Variance())
+	}
+}
+
+func TestIrwinHallCDFMonotoneProperty(t *testing.T) {
+	f := func(mRaw uint8, aRaw, bRaw uint16) bool {
+		m := 1 + int(mRaw%10)
+		a := float64(aRaw) / 65535 * float64(m)
+		b := float64(bRaw) / 65535 * float64(m)
+		if a > b {
+			a, b = b, a
+		}
+		ih, err := NewIrwinHall(m)
+		if err != nil {
+			return false
+		}
+		return ih.CDF(a) <= ih.CDF(b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIrwinHallSymmetryProperty(t *testing.T) {
+	// F_m(t) + F_m(m - t) = 1 by symmetry of the density about m/2.
+	f := func(mRaw uint8, tRaw uint16) bool {
+		m := 1 + int(mRaw%12)
+		tt := float64(tRaw) / 65535 * float64(m)
+		ih, err := NewIrwinHall(m)
+		if err != nil {
+			return false
+		}
+		return math.Abs(ih.CDF(tt)+ih.CDF(float64(m)-tt)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIrwinHallPDFIsDerivativeOfCDF(t *testing.T) {
+	ih, err := NewIrwinHall(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-6
+	for _, x := range []float64{0.4, 1.1, 2.5, 3.9, 4.6} {
+		numeric := (ih.CDF(x+h) - ih.CDF(x-h)) / (2 * h)
+		analytic := ih.PDF(x)
+		if math.Abs(numeric-analytic) > 1e-5 {
+			t.Errorf("f_5(%v): analytic %v vs numeric %v", x, analytic, numeric)
+		}
+	}
+}
+
+func TestIrwinHallPDFIntegratesToOne(t *testing.T) {
+	ih, err := NewIrwinHall(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 6000
+	var sum float64
+	h := 6.0 / steps
+	for i := 0; i <= steps; i++ {
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		sum += w * ih.PDF(float64(i)*h)
+	}
+	sum *= h
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("∫ f_6 = %v, want 1", sum)
+	}
+}
+
+func TestIrwinHallPDFOutsideSupport(t *testing.T) {
+	ih, err := NewIrwinHall(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ih.PDF(-0.1) != 0 || ih.PDF(0) != 0 || ih.PDF(3) != 0 || ih.PDF(3.5) != 0 {
+		t.Error("PDF outside open support should be 0")
+	}
+}
+
+func TestIrwinHallQuantileRoundTrip(t *testing.T) {
+	ih, err := NewIrwinHall(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		q, err := ih.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ih.CDF(q)-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, ih.CDF(q))
+		}
+	}
+	if q, err := ih.Quantile(0); err != nil || q != 0 {
+		t.Errorf("Quantile(0) = %v, %v", q, err)
+	}
+	if q, err := ih.Quantile(1); err != nil || q != 4 {
+		t.Errorf("Quantile(1) = %v, %v", q, err)
+	}
+	if _, err := ih.Quantile(-0.1); err == nil {
+		t.Error("Quantile(-0.1): expected error")
+	}
+	if _, err := ih.Quantile(1.1); err == nil {
+		t.Error("Quantile(1.1): expected error")
+	}
+	if _, err := ih.Quantile(math.NaN()); err == nil {
+		t.Error("Quantile(NaN): expected error")
+	}
+}
+
+func TestIrwinHallSampleMatchesCDF(t *testing.T) {
+	ih, err := NewIrwinHall(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(11, 13))
+	const n = 200000
+	var below15 int
+	var sum float64
+	for i := 0; i < n; i++ {
+		v, err := ih.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+		if v <= 1.5 {
+			below15++
+		}
+	}
+	empirical := float64(below15) / n
+	if math.Abs(empirical-0.5) > 0.005 {
+		t.Errorf("empirical F_3(1.5) = %v, want ≈ 0.5", empirical)
+	}
+	if math.Abs(sum/n-1.5) > 0.01 {
+		t.Errorf("empirical mean = %v, want ≈ 1.5", sum/n)
+	}
+	if _, err := ih.Sample(nil); err == nil {
+		t.Error("nil rng: expected error")
+	}
+}
+
+func TestIrwinHallCDFRatMatchesFloat(t *testing.T) {
+	for m := 1; m <= 10; m++ {
+		for num := int64(0); num <= int64(4*m); num++ {
+			tr := big.NewRat(num, 4)
+			tf, _ := tr.Float64()
+			exact, err := IrwinHallCDFRat(m, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			approx, err := IrwinHallCDF(m, tf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ef, _ := exact.Float64()
+			if math.Abs(approx-ef) > 1e-10 {
+				t.Errorf("m=%d t=%v: float %v vs exact %v", m, tf, approx, ef)
+			}
+		}
+	}
+}
+
+func TestIrwinHallCDFRatLargeOrder(t *testing.T) {
+	// The exact path works far beyond the float64 cancellation limit.
+	m := 60
+	half := big.NewRat(int64(m), 2)
+	v, err := IrwinHallCDFRat(m, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Errorf("F_60(30) = %v, want exactly 1/2 by symmetry", v)
+	}
+}
+
+func TestIrwinHallCDFRatValidation(t *testing.T) {
+	if _, err := IrwinHallCDFRat(-1, big.NewRat(1, 2)); err == nil {
+		t.Error("negative order: expected error")
+	}
+	if _, err := IrwinHallCDFRat(3, nil); err == nil {
+		t.Error("nil threshold: expected error")
+	}
+	if _, err := IrwinHallCDFRat(MaxIrwinHallRatN+1, big.NewRat(1, 2)); err == nil {
+		t.Error("over-limit order: expected error")
+	}
+	v, err := IrwinHallCDFRat(0, big.NewRat(1, 2))
+	if err != nil || v.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("F_0(1/2) = %v, %v; want 1", v, err)
+	}
+	v, err = IrwinHallCDFRat(0, big.NewRat(-1, 2))
+	if err != nil || v.Sign() != 0 {
+		t.Errorf("F_0(-1/2) = %v, %v; want 0", v, err)
+	}
+	v, err = IrwinHallCDFRat(2, big.NewRat(-1, 2))
+	if err != nil || v.Sign() != 0 {
+		t.Errorf("F_2(-1/2) = %v, %v; want 0", v, err)
+	}
+	v, err = IrwinHallCDFRat(2, big.NewRat(7, 2))
+	if err != nil || v.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("F_2(7/2) = %v, %v; want 1", v, err)
+	}
+}

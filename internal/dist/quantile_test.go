@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformSumQuantileRoundTrip(t *testing.T) {
+	u, err := NewUniformSum([]float64{0.5, 1.2, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		q, err := u.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(u.CDF(q)-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, u.CDF(q))
+		}
+	}
+	q, err := u.Quantile(0)
+	if err != nil || q != 0 {
+		t.Errorf("Quantile(0) = %v, %v", q, err)
+	}
+	q, err = u.Quantile(1)
+	if err != nil || q != 2.5 {
+		t.Errorf("Quantile(1) = %v, %v; want 2.5", q, err)
+	}
+	if _, err := u.Quantile(-0.5); err == nil {
+		t.Error("p < 0: expected error")
+	}
+	if _, err := u.Quantile(math.NaN()); err == nil {
+		t.Error("p = NaN: expected error")
+	}
+}
+
+func TestShiftedSumQuantileRoundTrip(t *testing.T) {
+	s, err := NewShiftedUniformSum([]float64{0.3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.05, 0.3, 0.5, 0.8, 0.95} {
+		q, err := s.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.CDF(q)-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, s.CDF(q))
+		}
+	}
+	if _, err := s.Quantile(2); err == nil {
+		t.Error("p > 1: expected error")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	u, err := NewUniformSum([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw) / 65535
+		b := float64(bRaw) / 65535
+		if a > b {
+			a, b = b, a
+		}
+		qa, errA := u.Quantile(a)
+		qb, errB := u.Quantile(b)
+		return errA == nil && errB == nil && qa <= qb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformSumQuantileMatchesIrwinHall(t *testing.T) {
+	u, err := NewUniformSum([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ih, err := NewIrwinHall(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.2, 0.5, 0.8} {
+		qu, err := u.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qi, err := ih.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(qu-qi) > 1e-8 {
+			t.Errorf("p=%v: uniform-sum quantile %v vs Irwin-Hall %v", p, qu, qi)
+		}
+	}
+}
+
+func TestNormalApproxErrorShrinksWithM(t *testing.T) {
+	e3, err := NormalApproxError(3, 2001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e12, err := NormalApproxError(12, 2001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e25, err := NormalApproxError(25, 2001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(e3 > e12 && e12 > e25) {
+		t.Errorf("normal approximation error should shrink: m=3 %v, m=12 %v, m=25 %v", e3, e12, e25)
+	}
+	// At the paper's n=3 the CLT is visibly wrong (≈ 1% Kolmogorov
+	// distance), justifying the exact combinatorial treatment.
+	if e3 < 0.005 {
+		t.Errorf("m=3 error %v suspiciously small", e3)
+	}
+	if e25 > 0.01 {
+		t.Errorf("m=25 error %v suspiciously large", e25)
+	}
+}
+
+func TestNormalApproxErrorValidation(t *testing.T) {
+	if _, err := NormalApproxError(0, 100); err == nil {
+		t.Error("m=0: expected error")
+	}
+	if _, err := NormalApproxError(-1, 100); err == nil {
+		t.Error("m=-1: expected error")
+	}
+	if _, err := NormalApproxError(3, 1); err == nil {
+		t.Error("1 grid point: expected error")
+	}
+	if _, err := NormalApproxError(MaxIrwinHallN+1, 100); err == nil {
+		t.Error("m over limit: expected error")
+	}
+}
+
+func TestStdNormalCDFKnownValues(t *testing.T) {
+	if math.Abs(stdNormalCDF(0)-0.5) > 1e-15 {
+		t.Error("Φ(0) != 1/2")
+	}
+	if math.Abs(stdNormalCDF(1.959963985)-0.975) > 1e-6 {
+		t.Errorf("Φ(1.96) = %v", stdNormalCDF(1.959963985))
+	}
+	if math.Abs(stdNormalCDF(-1.959963985)-0.025) > 1e-6 {
+		t.Errorf("Φ(-1.96) = %v", stdNormalCDF(-1.959963985))
+	}
+}

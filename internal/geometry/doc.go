@@ -1,0 +1,23 @@
+// Package geometry implements the polytopes of Section 2.1 of the paper and
+// their volumes.
+//
+// The paper's combinatorial cornerstone (Proposition 2.2) is an explicit
+// inclusion-exclusion formula for the volume of
+//
+//	ΣΠ^(m)(σ, π) = Σ^(m)(σ) ∩ Π^(m)(π),
+//
+// the intersection of the m-dimensional orthogonal simplex
+// Σ^(m)(σ) = {x ∈ R₊^m : Σ x_l/σ_l ≤ 1} with the axis-aligned box
+// Π^(m)(π) = [0,π₁] × ... × [0,π_m]:
+//
+//	Vol(ΣΠ) = (1/m!) Π σ_l · Σ_{I : Σ_{l∈I} π_l/σ_l < 1} (-1)^|I| (1 - Σ_{l∈I} π_l/σ_l)^m.
+//
+// This volume is what turns into the probability that a sum of independent
+// uniform random variables stays below a capacity threshold (Lemmas 2.4 and
+// 2.7), which in turn is the building block of both winning-probability
+// theorems (4.1 and 5.1).
+//
+// Volumes are available in float64 (compensated summation) and in exact
+// rational arithmetic, plus a Monte-Carlo estimator used as an independent
+// oracle in tests.
+package geometry

@@ -1,0 +1,84 @@
+package geometry
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/combin"
+)
+
+// signedGuardedPowerSum computes Σ_{I ⊆ {0..m-1}, Σ_{l∈I} w_l < limit}
+// (-1)^|I| (limit - Σ_{l∈I} w_l)^m using a Gray-code walk so that each
+// subset sum is maintained incrementally in O(1).
+func signedGuardedPowerSum(m int, weights []float64, limit float64) (float64, error) {
+	var acc combin.Accumulator
+	var running float64
+	err := combin.ForEachSubsetGray(m, func(mask uint64, flipped int, added bool) bool {
+		if flipped >= 0 {
+			if added {
+				running += weights[flipped]
+			} else {
+				running -= weights[flipped]
+			}
+		}
+		rem := limit - running
+		if rem <= 0 {
+			return true
+		}
+		v := math.Pow(rem, float64(m))
+		if combin.Popcount(mask)%2 == 1 {
+			v = -v
+		}
+		acc.Add(v)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return acc.Sum(), nil
+}
+
+// signedGuardedPowerSumRat is the exact rational analogue of
+// signedGuardedPowerSum.
+func signedGuardedPowerSumRat(m int, weights []*big.Rat, limit *big.Rat) (*big.Rat, error) {
+	total := new(big.Rat)
+	running := new(big.Rat)
+	rem := new(big.Rat)
+	err := combin.ForEachSubsetGray(m, func(mask uint64, flipped int, added bool) bool {
+		if flipped >= 0 {
+			if added {
+				running.Add(running, weights[flipped])
+			} else {
+				running.Sub(running, weights[flipped])
+			}
+		}
+		rem.Sub(limit, running)
+		if rem.Sign() <= 0 {
+			return true
+		}
+		term := ratPow(rem, m)
+		if combin.Popcount(mask)%2 == 1 {
+			total.Sub(total, term)
+		} else {
+			total.Add(total, term)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return total, nil
+}
+
+func ratPow(r *big.Rat, n int) *big.Rat {
+	out := big.NewRat(1, 1)
+	base := new(big.Rat).Set(r)
+	for n > 0 {
+		if n&1 == 1 {
+			out.Mul(out, base)
+		}
+		base.Mul(base, base)
+		n >>= 1
+	}
+	return out
+}

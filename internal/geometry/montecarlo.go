@@ -1,0 +1,69 @@
+package geometry
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// ContainmentRegion is any region of R^m with a membership test; both the
+// polytopes of this package and arbitrary test regions satisfy it.
+type ContainmentRegion interface {
+	Dim() int
+	Contains(x []float64) (bool, error)
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ ContainmentRegion = (*Simplex)(nil)
+	_ ContainmentRegion = (*Box)(nil)
+	_ ContainmentRegion = (*SimplexBoxIntersection)(nil)
+)
+
+// VolumeEstimate is a Monte-Carlo volume estimate with a standard error.
+type VolumeEstimate struct {
+	// Volume is the point estimate.
+	Volume float64
+	// StdErr is the standard error of the estimate.
+	StdErr float64
+	// Samples is the number of points drawn.
+	Samples int
+}
+
+// EstimateVolume estimates the volume of region by rejection sampling
+// inside the bounding box: it draws samples uniform points in box and
+// multiplies the hit fraction by the box volume. The region must be a
+// subset of the box for the estimate to be unbiased. A nil rng seeds a
+// deterministic PCG stream.
+func EstimateVolume(region ContainmentRegion, box *Box, samples int, rng *rand.Rand) (VolumeEstimate, error) {
+	if region == nil || box == nil {
+		return VolumeEstimate{}, fmt.Errorf("geometry: nil region or bounding box")
+	}
+	if region.Dim() != box.Dim() {
+		return VolumeEstimate{}, fmt.Errorf("geometry: region dimension %d != box dimension %d", region.Dim(), box.Dim())
+	}
+	if samples <= 0 {
+		return VolumeEstimate{}, fmt.Errorf("geometry: sample count %d must be positive", samples)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewPCG(0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9))
+	}
+	point := make([]float64, box.Dim())
+	hits := 0
+	for s := 0; s < samples; s++ {
+		for i := range point {
+			point[i] = rng.Float64() * box.sides[i]
+		}
+		in, err := region.Contains(point)
+		if err != nil {
+			return VolumeEstimate{}, fmt.Errorf("geometry: membership test failed: %w", err)
+		}
+		if in {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(samples)
+	bv := box.Volume()
+	se := bv * math.Sqrt(p*(1-p)/float64(samples))
+	return VolumeEstimate{Volume: bv * p, StdErr: se, Samples: samples}, nil
+}

@@ -1,0 +1,212 @@
+package geometry
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Simplex is the m-dimensional orthogonal simplex Σ^(m)(σ) of the paper:
+// the set of non-negative points x with Σ x_l/σ_l ≤ 1. All orthogonal side
+// lengths σ_l must be strictly positive.
+type Simplex struct {
+	sides []float64
+}
+
+// NewSimplex constructs Σ^(m)(σ). It returns an error if fewer than one
+// side is given or any side is not strictly positive and finite.
+func NewSimplex(sides []float64) (*Simplex, error) {
+	if len(sides) == 0 {
+		return nil, fmt.Errorf("geometry: simplex needs at least one side")
+	}
+	cp := make([]float64, len(sides))
+	for i, s := range sides {
+		if !(s > 0) || s > maxSide {
+			return nil, fmt.Errorf("geometry: simplex side %d = %v must be in (0, %g]", i, s, maxSide)
+		}
+		cp[i] = s
+	}
+	return &Simplex{sides: cp}, nil
+}
+
+const maxSide = 1e300
+
+// Dim returns the dimension m.
+func (s *Simplex) Dim() int { return len(s.sides) }
+
+// Sides returns a copy of the orthogonal side lengths.
+func (s *Simplex) Sides() []float64 {
+	out := make([]float64, len(s.sides))
+	copy(out, s.sides)
+	return out
+}
+
+// Contains reports whether x lies in the simplex. It returns an error if
+// the dimension of x does not match.
+func (s *Simplex) Contains(x []float64) (bool, error) {
+	if len(x) != len(s.sides) {
+		return false, fmt.Errorf("geometry: point dimension %d, simplex dimension %d", len(x), len(s.sides))
+	}
+	var sum float64
+	for i, xi := range x {
+		if xi < 0 {
+			return false, nil
+		}
+		sum += xi / s.sides[i]
+	}
+	return sum <= 1, nil
+}
+
+// Volume returns Vol(Σ^(m)(σ)) = (1/m!) Π σ_l (Lemma 2.1(1)).
+func (s *Simplex) Volume() float64 {
+	v := 1.0
+	for i, side := range s.sides {
+		v *= side / float64(i+1)
+	}
+	return v
+}
+
+// Box is the m-dimensional axis-aligned box Π^(m)(π) = Π_l [0, π_l].
+type Box struct {
+	sides []float64
+}
+
+// NewBox constructs Π^(m)(π). It returns an error if fewer than one side is
+// given or any side is not strictly positive and finite.
+func NewBox(sides []float64) (*Box, error) {
+	if len(sides) == 0 {
+		return nil, fmt.Errorf("geometry: box needs at least one side")
+	}
+	cp := make([]float64, len(sides))
+	for i, s := range sides {
+		if !(s > 0) || s > maxSide {
+			return nil, fmt.Errorf("geometry: box side %d = %v must be in (0, %g]", i, s, maxSide)
+		}
+		cp[i] = s
+	}
+	return &Box{sides: cp}, nil
+}
+
+// Dim returns the dimension m.
+func (b *Box) Dim() int { return len(b.sides) }
+
+// Sides returns a copy of the side lengths.
+func (b *Box) Sides() []float64 {
+	out := make([]float64, len(b.sides))
+	copy(out, b.sides)
+	return out
+}
+
+// Contains reports whether x lies in the box. It returns an error if the
+// dimension of x does not match.
+func (b *Box) Contains(x []float64) (bool, error) {
+	if len(x) != len(b.sides) {
+		return false, fmt.Errorf("geometry: point dimension %d, box dimension %d", len(x), len(b.sides))
+	}
+	for i, xi := range x {
+		if xi < 0 || xi > b.sides[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Volume returns Vol(Π^(m)(π)) = Π π_l (Lemma 2.1(2)).
+func (b *Box) Volume() float64 {
+	v := 1.0
+	for _, side := range b.sides {
+		v *= side
+	}
+	return v
+}
+
+// SimplexBoxIntersection is the polytope ΣΠ^(m)(σ, π) of Proposition 2.2:
+// the intersection of a simplex and a box of the same dimension.
+type SimplexBoxIntersection struct {
+	simplex *Simplex
+	box     *Box
+}
+
+// NewSimplexBoxIntersection constructs ΣΠ^(m)(σ, π). It returns an error
+// if the two polytopes have different dimensions.
+func NewSimplexBoxIntersection(simplex *Simplex, box *Box) (*SimplexBoxIntersection, error) {
+	if simplex == nil || box == nil {
+		return nil, fmt.Errorf("geometry: nil simplex or box")
+	}
+	if simplex.Dim() != box.Dim() {
+		return nil, fmt.Errorf("geometry: simplex dimension %d != box dimension %d", simplex.Dim(), box.Dim())
+	}
+	return &SimplexBoxIntersection{simplex: simplex, box: box}, nil
+}
+
+// Dim returns the dimension m.
+func (p *SimplexBoxIntersection) Dim() int { return p.simplex.Dim() }
+
+// Contains reports whether x lies in the intersection.
+func (p *SimplexBoxIntersection) Contains(x []float64) (bool, error) {
+	inS, err := p.simplex.Contains(x)
+	if err != nil {
+		return false, err
+	}
+	if !inS {
+		return false, nil
+	}
+	return p.box.Contains(x)
+}
+
+// Volume evaluates the inclusion-exclusion formula of Proposition 2.2 in
+// float64 with compensated summation:
+//
+//	Vol = (1/m!) Π σ_l · Σ_{I : Σ_{l∈I} π_l/σ_l < 1} (-1)^|I| (1 - Σ_{l∈I} π_l/σ_l)^m.
+//
+// The subset sum has 2^m terms; m is limited to 30 to keep evaluation
+// tractable (the probabilistic applications in this reproduction use much
+// smaller m).
+func (p *SimplexBoxIntersection) Volume() (float64, error) {
+	m := p.Dim()
+	if m > 30 {
+		return 0, fmt.Errorf("geometry: exact inclusion-exclusion volume limited to dimension 30, got %d", m)
+	}
+	ratios := make([]float64, m)
+	for i := range ratios {
+		ratios[i] = p.box.sides[i] / p.simplex.sides[i]
+	}
+	sum, err := signedGuardedPowerSum(m, ratios, 1)
+	if err != nil {
+		return 0, err
+	}
+	return p.simplex.Volume() * sum, nil
+}
+
+// VolumeRat evaluates Proposition 2.2 exactly for rational side vectors.
+// sigma and pi must have equal positive length and strictly positive
+// entries.
+func VolumeRat(sigma, pi []*big.Rat) (*big.Rat, error) {
+	m := len(sigma)
+	if m == 0 || len(pi) != m {
+		return nil, fmt.Errorf("geometry: side vectors must have equal positive length (%d vs %d)", m, len(pi))
+	}
+	if m > 24 {
+		return nil, fmt.Errorf("geometry: exact rational volume limited to dimension 24, got %d", m)
+	}
+	for i := 0; i < m; i++ {
+		if sigma[i] == nil || pi[i] == nil || sigma[i].Sign() <= 0 || pi[i].Sign() <= 0 {
+			return nil, fmt.Errorf("geometry: side %d must be strictly positive", i)
+		}
+	}
+	ratios := make([]*big.Rat, m)
+	for i := 0; i < m; i++ {
+		ratios[i] = new(big.Rat).Quo(pi[i], sigma[i])
+	}
+	one := big.NewRat(1, 1)
+	sum, err := signedGuardedPowerSumRat(m, ratios, one)
+	if err != nil {
+		return nil, err
+	}
+	// Prefactor (1/m!) Π σ_l.
+	pre := big.NewRat(1, 1)
+	for i := 0; i < m; i++ {
+		pre.Mul(pre, sigma[i])
+		pre.Mul(pre, big.NewRat(1, int64(i+1)))
+	}
+	return pre.Mul(pre, sum), nil
+}

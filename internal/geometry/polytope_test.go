@@ -1,0 +1,417 @@
+package geometry
+
+import (
+	"math"
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSimplexValidation(t *testing.T) {
+	if _, err := NewSimplex(nil); err == nil {
+		t.Error("empty sides: expected error")
+	}
+	if _, err := NewSimplex([]float64{1, 0}); err == nil {
+		t.Error("zero side: expected error")
+	}
+	if _, err := NewSimplex([]float64{1, -2}); err == nil {
+		t.Error("negative side: expected error")
+	}
+	if _, err := NewSimplex([]float64{math.NaN()}); err == nil {
+		t.Error("NaN side: expected error")
+	}
+	if _, err := NewSimplex([]float64{math.Inf(1)}); err == nil {
+		t.Error("infinite side: expected error")
+	}
+}
+
+func TestSimplexVolumeAndContains(t *testing.T) {
+	s, err := NewSimplex([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim() != 3 {
+		t.Errorf("Dim = %d, want 3", s.Dim())
+	}
+	if got := s.Volume(); math.Abs(got-1.0/6) > 1e-15 {
+		t.Errorf("unit simplex volume = %v, want 1/6", got)
+	}
+	s2, err := NewSimplex([]float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Volume(); math.Abs(got-3) > 1e-15 {
+		t.Errorf("simplex(2,3) volume = %v, want 3", got)
+	}
+	in, err := s.Contains([]float64{0.2, 0.3, 0.4})
+	if err != nil || !in {
+		t.Errorf("point inside reported outside (err=%v)", err)
+	}
+	in, err = s.Contains([]float64{0.5, 0.5, 0.5})
+	if err != nil || in {
+		t.Errorf("point outside reported inside (err=%v)", err)
+	}
+	in, err = s.Contains([]float64{-0.1, 0.1, 0.1})
+	if err != nil || in {
+		t.Errorf("negative point reported inside (err=%v)", err)
+	}
+	if _, err := s.Contains([]float64{0.1}); err == nil {
+		t.Error("dimension mismatch: expected error")
+	}
+	sides := s.Sides()
+	sides[0] = 99
+	if s.sides[0] == 99 {
+		t.Error("Sides() leaked internal slice")
+	}
+}
+
+func TestNewBoxValidationAndBasics(t *testing.T) {
+	if _, err := NewBox(nil); err == nil {
+		t.Error("empty sides: expected error")
+	}
+	if _, err := NewBox([]float64{0.5, -1}); err == nil {
+		t.Error("negative side: expected error")
+	}
+	b, err := NewBox([]float64{2, 0.5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dim() != 3 {
+		t.Errorf("Dim = %d", b.Dim())
+	}
+	if got := b.Volume(); math.Abs(got-3) > 1e-15 {
+		t.Errorf("box volume = %v, want 3", got)
+	}
+	in, err := b.Contains([]float64{1.9, 0.5, 0})
+	if err != nil || !in {
+		t.Errorf("corner point should be inside (err=%v)", err)
+	}
+	in, err = b.Contains([]float64{2.1, 0.1, 0.1})
+	if err != nil || in {
+		t.Errorf("outside point reported inside (err=%v)", err)
+	}
+	if _, err := b.Contains([]float64{1}); err == nil {
+		t.Error("dimension mismatch: expected error")
+	}
+	sides := b.Sides()
+	sides[0] = 99
+	if b.sides[0] == 99 {
+		t.Error("Sides() leaked internal slice")
+	}
+}
+
+func mustSimplex(t *testing.T, sides ...float64) *Simplex {
+	t.Helper()
+	s, err := NewSimplex(sides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustBox(t *testing.T, sides ...float64) *Box {
+	t.Helper()
+	b, err := NewBox(sides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewSimplexBoxIntersectionValidation(t *testing.T) {
+	s := mustSimplex(t, 1, 1)
+	b := mustBox(t, 1, 1, 1)
+	if _, err := NewSimplexBoxIntersection(s, b); err == nil {
+		t.Error("dimension mismatch: expected error")
+	}
+	if _, err := NewSimplexBoxIntersection(nil, b); err == nil {
+		t.Error("nil simplex: expected error")
+	}
+	if _, err := NewSimplexBoxIntersection(s, nil); err == nil {
+		t.Error("nil box: expected error")
+	}
+}
+
+func TestIntersectionVolumeBoxInsideSimplex(t *testing.T) {
+	// Tiny box fully inside a big simplex: volume is the box volume.
+	s := mustSimplex(t, 100, 100, 100)
+	b := mustBox(t, 0.5, 0.5, 0.5)
+	p, err := NewSimplexBoxIntersection(s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proposition 2.2 is ill-conditioned in float64 when the box is much
+	// smaller than the simplex (terms near 1 scaled by Πσ/m! ≈ 1.7e5), so
+	// only ~1e-10 absolute accuracy is achievable here; VolumeRat is exact.
+	if math.Abs(got-0.125) > 1e-9 {
+		t.Errorf("volume = %v, want 0.125 (box inside simplex)", got)
+	}
+	sigma := []*big.Rat{big.NewRat(100, 1), big.NewRat(100, 1), big.NewRat(100, 1)}
+	pi := []*big.Rat{big.NewRat(1, 2), big.NewRat(1, 2), big.NewRat(1, 2)}
+	exact, err := VolumeRat(sigma, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Cmp(big.NewRat(1, 8)) != 0 {
+		t.Errorf("exact volume = %v, want exactly 1/8", exact)
+	}
+}
+
+func TestIntersectionVolumeSimplexInsideBox(t *testing.T) {
+	// Simplex fully inside the box: volume is the simplex volume.
+	s := mustSimplex(t, 0.5, 0.5)
+	b := mustBox(t, 1, 1)
+	p, err := NewSimplexBoxIntersection(s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("volume = %v, want 0.125 (simplex volume)", got)
+	}
+}
+
+func TestIntersectionVolumeIrwinHallHalf(t *testing.T) {
+	// Vol({x ∈ [0,1]^2 : x1 + x2 ≤ 1}) = 1/2; with threshold 1.5 it is
+	// 1 - 2·(0.5²/2) = 0.875.
+	b := mustBox(t, 1, 1)
+	p1, err := NewSimplexBoxIntersection(mustSimplex(t, 1, 1), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := p1.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v1-0.5) > 1e-14 {
+		t.Errorf("unit triangle volume = %v, want 0.5", v1)
+	}
+	p2, err := NewSimplexBoxIntersection(mustSimplex(t, 1.5, 1.5), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := p2.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v2-0.875) > 1e-14 {
+		t.Errorf("t=1.5 volume = %v, want 0.875", v2)
+	}
+}
+
+func TestIntersectionVolumeDimensionLimit(t *testing.T) {
+	sides := make([]float64, 31)
+	for i := range sides {
+		sides[i] = 1
+	}
+	p, err := NewSimplexBoxIntersection(mustSimplex(t, sides...), mustBox(t, sides...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Volume(); err == nil {
+		t.Error("dimension 31: expected error from Volume")
+	}
+}
+
+func TestIntersectionContains(t *testing.T) {
+	p, err := NewSimplexBoxIntersection(mustSimplex(t, 1, 1), mustBox(t, 0.6, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 2 {
+		t.Errorf("Dim = %d", p.Dim())
+	}
+	cases := []struct {
+		pt   []float64
+		want bool
+	}{
+		{[]float64{0.3, 0.3}, true},
+		{[]float64{0.7, 0.1}, false},   // outside box
+		{[]float64{0.55, 0.55}, false}, // outside simplex
+		{[]float64{0, 0}, true},
+	}
+	for _, c := range cases {
+		got, err := p.Contains(c.pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.pt, got, c.want)
+		}
+	}
+	if _, err := p.Contains([]float64{0.1}); err == nil {
+		t.Error("dimension mismatch: expected error")
+	}
+}
+
+func TestVolumeRatMatchesFloat(t *testing.T) {
+	sigma := []*big.Rat{big.NewRat(3, 2), big.NewRat(3, 2), big.NewRat(3, 2)}
+	pi := []*big.Rat{big.NewRat(1, 1), big.NewRat(1, 1), big.NewRat(1, 1)}
+	exact, err := VolumeRat(sigma, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewSimplexBoxIntersection(mustSimplex(t, 1.5, 1.5, 1.5), mustBox(t, 1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := p.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, _ := exact.Float64()
+	if math.Abs(approx-ef) > 1e-12 {
+		t.Errorf("float volume %v != exact %v", approx, ef)
+	}
+}
+
+func TestVolumeRatValidation(t *testing.T) {
+	one := big.NewRat(1, 1)
+	if _, err := VolumeRat(nil, nil); err == nil {
+		t.Error("empty vectors: expected error")
+	}
+	if _, err := VolumeRat([]*big.Rat{one}, []*big.Rat{one, one}); err == nil {
+		t.Error("length mismatch: expected error")
+	}
+	if _, err := VolumeRat([]*big.Rat{big.NewRat(0, 1)}, []*big.Rat{one}); err == nil {
+		t.Error("zero sigma: expected error")
+	}
+	if _, err := VolumeRat([]*big.Rat{one}, []*big.Rat{nil}); err == nil {
+		t.Error("nil pi: expected error")
+	}
+	big25 := make([]*big.Rat, 25)
+	for i := range big25 {
+		big25[i] = one
+	}
+	if _, err := VolumeRat(big25, big25); err == nil {
+		t.Error("dimension 25: expected error")
+	}
+}
+
+func TestVolumeAgainstMonteCarlo(t *testing.T) {
+	// Random-ish asymmetric instance cross-checked by rejection sampling.
+	s := mustSimplex(t, 1.2, 0.9, 1.7)
+	b := mustBox(t, 0.8, 0.6, 1.0)
+	p, err := NewSimplexBoxIntersection(s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := p.Volume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(42, 43))
+	est, err := EstimateVolume(p, b, 400000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(est.Volume - exact); diff > 5*est.StdErr+1e-9 {
+		t.Errorf("MC volume %v ± %v vs exact %v (diff %v)", est.Volume, est.StdErr, exact, diff)
+	}
+}
+
+func TestEstimateVolumeValidation(t *testing.T) {
+	s := mustSimplex(t, 1, 1)
+	b := mustBox(t, 1, 1)
+	p, err := NewSimplexBoxIntersection(s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateVolume(nil, b, 100, nil); err == nil {
+		t.Error("nil region: expected error")
+	}
+	if _, err := EstimateVolume(p, nil, 100, nil); err == nil {
+		t.Error("nil box: expected error")
+	}
+	if _, err := EstimateVolume(p, b, 0, nil); err == nil {
+		t.Error("zero samples: expected error")
+	}
+	if _, err := EstimateVolume(p, mustBox(t, 1, 1, 1), 100, nil); err == nil {
+		t.Error("dimension mismatch: expected error")
+	}
+	// nil rng must be accepted (deterministic default stream).
+	est, err := EstimateVolume(p, b, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples != 1000 || est.Volume < 0 || est.Volume > 1 {
+		t.Errorf("estimate = %+v out of expected range", est)
+	}
+}
+
+func TestVolumeMonotoneInBoxProperty(t *testing.T) {
+	// Property: growing the box never decreases the intersection volume.
+	f := func(a, b, c, d uint8) bool {
+		s1 := 0.2 + float64(a%50)/25
+		s2 := 0.2 + float64(b%50)/25
+		p1 := 0.05 + float64(c%40)/40
+		p2 := 0.05 + float64(d%40)/40
+		simplex, err := NewSimplex([]float64{s1, s2})
+		if err != nil {
+			return false
+		}
+		small, err := NewBox([]float64{p1, p2})
+		if err != nil {
+			return false
+		}
+		large, err := NewBox([]float64{p1 * 1.5, p2 * 1.5})
+		if err != nil {
+			return false
+		}
+		ps, err := NewSimplexBoxIntersection(simplex, small)
+		if err != nil {
+			return false
+		}
+		pl, err := NewSimplexBoxIntersection(simplex, large)
+		if err != nil {
+			return false
+		}
+		vs, err := ps.Volume()
+		if err != nil {
+			return false
+		}
+		vl, err := pl.Volume()
+		if err != nil {
+			return false
+		}
+		return vl >= vs-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVolumeBoundedBySimplexAndBoxProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g uint8) bool {
+		sides := []float64{0.1 + float64(a)/128, 0.1 + float64(b)/128, 0.1 + float64(c)/128}
+		box := []float64{0.1 + float64(d)/128, 0.1 + float64(e)/128, 0.1 + float64(g)/128}
+		s, err := NewSimplex(sides)
+		if err != nil {
+			return false
+		}
+		bx, err := NewBox(box)
+		if err != nil {
+			return false
+		}
+		p, err := NewSimplexBoxIntersection(s, bx)
+		if err != nil {
+			return false
+		}
+		v, err := p.Volume()
+		if err != nil {
+			return false
+		}
+		return v >= -1e-12 && v <= s.Volume()+1e-12 && v <= bx.Volume()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,319 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/nonoblivious"
+	"repro/internal/oblivious"
+	"repro/internal/plot"
+	"repro/internal/py91"
+	"repro/internal/sim"
+)
+
+// FigureNs are the instance sizes shown in the paper's figures ("the
+// winning probabilities for n = 3, n = 4 and n = 5").
+var FigureNs = []int{3, 4, 5}
+
+// Figure1 reproduces Figure 1: the winning probability of the symmetric
+// single-threshold (non-oblivious) algorithm as a function of the common
+// threshold β, for n = 3, 4, 5 with the paper's capacity scaling δ = n/3.
+// points is the number of sweep points per curve (≥ 2).
+func Figure1(points int) (Figure, error) {
+	if points < 2 {
+		return Figure{}, fmt.Errorf("harness: figure needs at least 2 points, got %d", points)
+	}
+	fig := Figure{
+		ID:     "F1",
+		Title:  "Non-oblivious winning probability vs threshold (δ = n/3)",
+		XLabel: "threshold β",
+		YLabel: "P(win)",
+	}
+	for _, n := range FigureNs {
+		inst, err := core.PaperInstance(n)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := plot.Series{Name: fmt.Sprintf("n=%d", n)}
+		for i := 0; i < points; i++ {
+			beta := float64(i) / float64(points-1)
+			p, err := inst.SymmetricThresholdWinProbability(beta)
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, beta)
+			s.Y = append(s.Y, p)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure2 reproduces Figure 2: the winning probability of the symmetric
+// oblivious algorithm as a function of the common bin-0 probability a, for
+// n = 3, 4, 5 with δ = n/3. The maximum sits at a = 1/2 for every n
+// (Theorem 4.3's uniformity), in contrast with Figure 1's moving optimum.
+func Figure2(points int) (Figure, error) {
+	if points < 2 {
+		return Figure{}, fmt.Errorf("harness: figure needs at least 2 points, got %d", points)
+	}
+	fig := Figure{
+		ID:     "F2",
+		Title:  "Oblivious winning probability vs coin bias (δ = n/3)",
+		XLabel: "P(bin 0) = a",
+		YLabel: "P(win)",
+	}
+	for _, n := range FigureNs {
+		inst, err := core.PaperInstance(n)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := plot.Series{Name: fmt.Sprintf("n=%d", n)}
+		for i := 0; i < points; i++ {
+			a := float64(i) / float64(points-1)
+			p, err := inst.SymmetricObliviousWinProbability(a)
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, a)
+			s.Y = append(s.Y, p)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// TableOblivious builds T1: the Theorem 4.3 optimal (symmetric) oblivious
+// algorithm per instance size, for δ = 1 and δ = n/3, next to the
+// deterministic vertex optimum this reproduction documents.
+func TableOblivious(ns []int) (Table, error) {
+	if len(ns) == 0 {
+		return Table{}, fmt.Errorf("harness: empty instance list")
+	}
+	t := Table{
+		ID:      "T1",
+		Title:   "Optimal oblivious algorithms (Theorem 4.3) per n",
+		Columns: []string{"n", "δ", "α*", "P(win) @ α=1/2", "P(win) balanced split", "best split k"},
+		Notes: []string{
+			"α* = 1/2 for every n: the Theorem 4.3 uniformity claim, exact within symmetric algorithms.",
+			"The balanced deterministic split (a hypercube vertex) exceeds the α=1/2 value because the winning probability is multilinear in α; see EXPERIMENTS.md.",
+		},
+	}
+	for _, n := range ns {
+		deltas := []float64{1, float64(n) / 3}
+		if n == 3 {
+			deltas = deltas[:1] // n/3 coincides with δ=1
+		}
+		for _, delta := range deltas {
+			opt, err := oblivious.Optimal(n, delta)
+			if err != nil {
+				return Table{}, err
+			}
+			det, err := oblivious.OptimalDeterministic(n, delta)
+			if err != nil {
+				return Table{}, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.4f", delta),
+				"0.5",
+				fmt.Sprintf("%.6f", opt.WinProbability),
+				fmt.Sprintf("%.6f", det.WinProbability),
+				fmt.Sprintf("%d/%d", det.Bin1Count, n),
+			})
+		}
+	}
+	return t, nil
+}
+
+// TableCaseN3 builds T2: the Section 5.2.1 case study (n=3, δ=1) — the
+// exact piecewise polynomials, the optimality condition, and the optimum
+// that settles the Papadimitriou-Yannakakis conjecture.
+func TableCaseN3() (Table, error) {
+	res, err := nonoblivious.OptimalSymmetric(3, big.NewRat(1, 1))
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "T2",
+		Title:   "Case n=3, δ=1 (Section 5.2.1)",
+		Columns: []string{"quantity", "paper", "reproduction"},
+	}
+	wantBeta := 1 - math.Sqrt(1.0/7)
+	t.Rows = append(t.Rows,
+		[]string{"P(β) on [0, 1/2]", "1/6 + 3/2·β² - 1/2·β³", pieceString(res, 0)},
+		[]string{"P(β) on (1/2, 1]", "-11/6 + 9β - 21/2·β² + 7/2·β³", pieceString(res, -1)},
+		[]string{"optimality condition", "β² - 2β + 6/7 = 0", normalizedCondition(res)},
+		[]string{"β*", fmt.Sprintf("1 - √(1/7) = %.6f", wantBeta), fmt.Sprintf("%.6f", res.BetaFloat)},
+		[]string{"P*", "0.545", fmt.Sprintf("%.6f", res.WinProbabilityFloat)},
+	)
+	t.Notes = append(t.Notes, "β* settles the PY91 conjecture; condition shown monic (paper's normalization).")
+	return t, nil
+}
+
+// TableCaseN4 builds T3: the Section 5.2.2 case study (n=4, δ=4/3).
+func TableCaseN4() (Table, error) {
+	res, err := nonoblivious.OptimalSymmetric(4, big.NewRat(4, 3))
+	if err != nil {
+		return Table{}, err
+	}
+	obl, err := oblivious.Optimal(4, 4.0/3)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "T3",
+		Title:   "Case n=4, δ=4/3 (Section 5.2.2)",
+		Columns: []string{"quantity", "paper", "reproduction"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"β*", "≈ 0.678", fmt.Sprintf("%.6f", res.BetaFloat)},
+		[]string{"P*", "(not stated)", fmt.Sprintf("%.6f", res.WinProbabilityFloat)},
+		[]string{"optimality condition", "cubic (OCR-corrupted in source)", normalizedCondition(res)},
+		[]string{"oblivious α=1/2 value", "(comparison claimed smaller)", fmt.Sprintf("%.6f", obl.WinProbability)},
+	)
+	t.Notes = append(t.Notes,
+		"Reproduction finding: at n=4, δ=4/3 the oblivious 1/2-coin BEATS the optimal threshold algorithm (0.43133 > 0.42854); the paper's blanket improvement claim holds at n=3 and n=5 but not here.",
+		"The paper's printed cubic -(26/3)β³+(98/3)β²-(368/9)β-416/27 has no root near 0.678 (transcription damage); the derived condition above does.",
+	)
+	return t, nil
+}
+
+// TableTradeoff builds T4: the knowledge/uniformity trade-off across
+// instance sizes with δ = n/3 — oblivious (symmetric and deterministic),
+// optimal threshold, and the omniscient feasibility bound.
+func TableTradeoff(ns []int, cfg sim.Config) (Table, error) {
+	if len(ns) == 0 {
+		return Table{}, fmt.Errorf("harness: empty instance list")
+	}
+	t := Table{
+		ID:      "T4",
+		Title:   "Knowledge/uniformity trade-off (δ = n/3)",
+		Columns: []string{"n", "δ", "oblivious α=1/2", "oblivious split", "threshold β*", "P* threshold", "feasibility (sim)"},
+	}
+	for _, n := range ns {
+		inst, err := core.PaperInstance(n)
+		if err != nil {
+			return Table{}, err
+		}
+		row, err := inst.ComputeTradeoff(cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.4f", inst.Delta),
+			fmt.Sprintf("%.6f", row.ObliviousHalf),
+			fmt.Sprintf("%.6f", row.ObliviousDeterministic),
+			fmt.Sprintf("%.6f", row.OptimalBeta),
+			fmt.Sprintf("%.6f", row.ThresholdOptimum),
+			fmt.Sprintf("%.6f", row.Feasibility),
+		})
+	}
+	t.Notes = append(t.Notes, "feasibility is the omniscient full-information upper bound (Monte-Carlo).")
+	return t, nil
+}
+
+// TableValidation builds V1: every analytic winning probability checked
+// against Monte-Carlo simulation, reporting the deviation in standard
+// errors.
+func TableValidation(cfg sim.Config) (Table, error) {
+	t := Table{
+		ID:      "V1",
+		Title:   "Exact formulas vs Monte-Carlo simulation",
+		Columns: []string{"instance", "algorithm", "exact", "simulated", "std err", "|z|"},
+	}
+	type check struct {
+		label, algo string
+		exact       float64
+		simulated   sim.Result
+	}
+	var checks []check
+	for _, n := range FigureNs {
+		inst, err := core.PaperInstance(n)
+		if err != nil {
+			return Table{}, err
+		}
+		label := fmt.Sprintf("n=%d δ=%.3f", n, inst.Delta)
+		// Oblivious at 1/2.
+		exact, err := inst.SymmetricObliviousWinProbability(0.5)
+		if err != nil {
+			return Table{}, err
+		}
+		res, err := inst.SimulateOblivious(0.5, cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		checks = append(checks, check{label, "oblivious a=0.5", exact, res})
+		// Threshold at the certified optimum.
+		opt, err := inst.OptimalThreshold()
+		if err != nil {
+			return Table{}, err
+		}
+		exact2, err := inst.SymmetricThresholdWinProbability(opt.BetaFloat)
+		if err != nil {
+			return Table{}, err
+		}
+		res2, err := inst.SimulateThreshold(opt.BetaFloat, cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		checks = append(checks, check{label, fmt.Sprintf("threshold β*=%.4f", opt.BetaFloat), exact2, res2})
+	}
+	// PY91 conjectured protocol.
+	proto := py91.ConjecturedOptimal()
+	exact, err := proto.ExactWinProbability()
+	if err != nil {
+		return Table{}, err
+	}
+	ev, err := py91.Evaluate(proto, py91.SimConfig{Trials: cfg.Trials, Workers: cfg.Workers, Seed: cfg.Seed})
+	if err != nil {
+		return Table{}, err
+	}
+	checks = append(checks, check{"n=3 δ=1", "PY91 conjectured", exact,
+		sim.Result{P: ev.P, StdErr: ev.StdErr, Trials: ev.Trials}})
+
+	for _, c := range checks {
+		z := math.Inf(1)
+		if c.simulated.StdErr > 0 {
+			z = math.Abs(c.simulated.P-c.exact) / c.simulated.StdErr
+		}
+		t.Rows = append(t.Rows, []string{
+			c.label, c.algo,
+			fmt.Sprintf("%.6f", c.exact),
+			fmt.Sprintf("%.6f", c.simulated.P),
+			fmt.Sprintf("%.6f", c.simulated.StdErr),
+			fmt.Sprintf("%.2f", z),
+		})
+	}
+	return t, nil
+}
+
+// pieceString renders piece i of the optimal curve (negative i counts from
+// the end).
+func pieceString(res nonoblivious.OptimalResult, i int) string {
+	if i < 0 {
+		i += res.Curve.NumPieces()
+	}
+	p, _, err := res.Curve.Piece(i)
+	if err != nil {
+		return fmt.Sprintf("(error: %v)", err)
+	}
+	return p.String()
+}
+
+// normalizedCondition renders the optimality condition as a monic
+// polynomial equation.
+func normalizedCondition(res nonoblivious.OptimalResult) string {
+	c := res.Condition
+	if c.IsZero() {
+		return "(endpoint optimum)"
+	}
+	lead := c.LeadingCoeff()
+	if lead.Sign() != 0 {
+		c = c.Scale(new(big.Rat).Inv(lead))
+	}
+	return c.String() + " = 0"
+}

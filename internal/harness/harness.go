@@ -1,0 +1,180 @@
+// Package harness assembles the reproduction's experiments: it sweeps
+// parameters through the exact theory and the simulator, formats the
+// results as text tables and CSV, and feeds the plot package to regenerate
+// the paper's figures. Each experiment in DESIGN.md's per-experiment index
+// (F1, F2, T1-T4, V1) has a constructor here, and the registry exposes
+// them by id to the command-line tools and benchmarks.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/plot"
+)
+
+// Table is a rendered experiment result: a titled grid of cells.
+type Table struct {
+	// ID is the experiment identifier (e.g. "T2").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns holds the header cells.
+	Columns []string
+	// Rows holds the data cells; every row must have len(Columns) cells.
+	Rows [][]string
+	// Notes are free-form footnotes rendered under the table.
+	Notes []string
+}
+
+// Validate checks the table's shape.
+func (t *Table) Validate() error {
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("harness: table %s has no columns", t.ID)
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("harness: table %s row %d has %d cells, want %d", t.ID, i, len(row), len(t.Columns))
+		}
+	}
+	return nil
+}
+
+// Render returns the table as aligned monospaced text.
+func (t *Table) Render() (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	total := len(t.Columns)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String(), nil
+}
+
+// WriteCSV writes the table (header + rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("harness: writing CSV header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("harness: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table with
+// notes as a trailing blockquote, ready for inclusion in EXPERIMENTS.md.
+func (t *Table) Markdown() (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s: %s**\n\n", t.ID, t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String(), nil
+}
+
+// Figure is a rendered figure: titled series ready for plotting.
+type Figure struct {
+	// ID is the experiment identifier (e.g. "F1").
+	ID string
+	// Title, XLabel and YLabel annotate the chart.
+	Title, XLabel, YLabel string
+	// Series holds the plotted lines.
+	Series []plot.Series
+}
+
+// ASCII renders the figure as a terminal chart.
+func (f *Figure) ASCII(width, height int) (string, error) {
+	return plot.ASCII(f.Series, plot.Options{
+		Title: fmt.Sprintf("%s: %s", f.ID, f.Title), XLabel: f.XLabel, YLabel: f.YLabel,
+		Width: width, Height: height,
+	})
+}
+
+// SVG renders the figure as an SVG document.
+func (f *Figure) SVG(width, height int) (string, error) {
+	return plot.SVG(f.Series, plot.Options{
+		Title: fmt.Sprintf("%s: %s", f.ID, f.Title), XLabel: f.XLabel, YLabel: f.YLabel,
+		Width: width, Height: height,
+	})
+}
+
+// WriteCSV writes the figure's series in long form: series, x, y.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", f.XLabel, f.YLabel}); err != nil {
+		return fmt.Errorf("harness: writing CSV header: %w", err)
+	}
+	for _, s := range f.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("harness: series %q has mismatched lengths", s.Name)
+		}
+		for i := range s.X {
+			rec := []string{s.Name, formatFloat(s.X[i]), formatFloat(s.Y[i])}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("harness: writing CSV row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return fmt.Sprintf("%.10g", v) }

@@ -1,0 +1,293 @@
+// Package model defines the distributed decision-making model of Section 3
+// of the paper: n players, each receiving a private input uniform on [0,1],
+// each choosing one of two bins of capacity δ with no communication, and the
+// system "winning" when neither bin overflows.
+//
+// A LocalRule is the paper's (local) decision-making algorithm A_i in the
+// no-communication case: a (possibly randomized) map from the player's own
+// input to a bin. The package supplies the two families the paper analyses
+// — oblivious coin rules and single-threshold rules — plus arbitrary
+// deterministic rules, and the machinery to evaluate a full system on an
+// input vector.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Bin identifies one of the two available bins.
+type Bin int
+
+// The two bins of the load-balancing game.
+const (
+	Bin0 Bin = 0
+	Bin1 Bin = 1
+)
+
+// String returns "0" or "1".
+func (b Bin) String() string {
+	if b == Bin0 {
+		return "0"
+	}
+	return "1"
+}
+
+// Other returns the opposite bin.
+func (b Bin) Other() Bin {
+	if b == Bin0 {
+		return Bin1
+	}
+	return Bin0
+}
+
+// LocalRule is a player's local decision algorithm in the no-communication
+// case: it sees only the player's own input. Randomized rules draw from
+// rng, which is non-nil whenever the rule is invoked through System.
+type LocalRule interface {
+	// Decide maps the player's input to a bin choice.
+	Decide(input float64, rng *rand.Rand) (Bin, error)
+}
+
+// ObliviousRule ignores the input and selects Bin0 with probability P0
+// (the paper's α_i). It is the paper's oblivious algorithm for one player.
+type ObliviousRule struct {
+	// P0 is the probability of choosing Bin0.
+	P0 float64
+}
+
+// NewObliviousRule validates P0 ∈ [0, 1] and returns the rule.
+func NewObliviousRule(p0 float64) (ObliviousRule, error) {
+	if math.IsNaN(p0) || p0 < 0 || p0 > 1 {
+		return ObliviousRule{}, fmt.Errorf("model: oblivious probability %v outside [0, 1]", p0)
+	}
+	return ObliviousRule{P0: p0}, nil
+}
+
+// Decide implements LocalRule. It returns an error when the rule is
+// strictly randomized (0 < P0 < 1) and rng is nil.
+func (r ObliviousRule) Decide(_ float64, rng *rand.Rand) (Bin, error) {
+	switch {
+	case r.P0 <= 0:
+		return Bin1, nil
+	case r.P0 >= 1:
+		return Bin0, nil
+	case rng == nil:
+		return 0, fmt.Errorf("model: randomized oblivious rule needs a random source")
+	case rng.Float64() < r.P0:
+		return Bin0, nil
+	default:
+		return Bin1, nil
+	}
+}
+
+// ThresholdRule is the paper's single-threshold non-oblivious algorithm:
+// it selects Bin0 when the input is at most Threshold (the paper's a_i) and
+// Bin1 otherwise.
+type ThresholdRule struct {
+	// Threshold is the cut point in [0, 1].
+	Threshold float64
+}
+
+// NewThresholdRule validates the threshold ∈ [0, 1] and returns the rule.
+// (The paper allows thresholds beyond 1, but with U[0,1] inputs any
+// threshold ≥ 1 behaves identically to 1, so the constructor normalizes
+// the domain.)
+func NewThresholdRule(threshold float64) (ThresholdRule, error) {
+	if math.IsNaN(threshold) || threshold < 0 || threshold > 1 {
+		return ThresholdRule{}, fmt.Errorf("model: threshold %v outside [0, 1]", threshold)
+	}
+	return ThresholdRule{Threshold: threshold}, nil
+}
+
+// Decide implements LocalRule.
+func (r ThresholdRule) Decide(input float64, _ *rand.Rand) (Bin, error) {
+	if input <= r.Threshold {
+		return Bin0, nil
+	}
+	return Bin1, nil
+}
+
+// FuncRule wraps an arbitrary deterministic decision function, giving the
+// framework the paper's full generality ("any computable function of the
+// inputs it sees").
+type FuncRule struct {
+	name string
+	fn   func(input float64) Bin
+}
+
+// NewFuncRule wraps fn under the given name. It returns an error if fn is
+// nil.
+func NewFuncRule(name string, fn func(input float64) Bin) (FuncRule, error) {
+	if fn == nil {
+		return FuncRule{}, fmt.Errorf("model: nil decision function %q", name)
+	}
+	return FuncRule{name: name, fn: fn}, nil
+}
+
+// Name returns the rule's label.
+func (r FuncRule) Name() string { return r.name }
+
+// Decide implements LocalRule.
+func (r FuncRule) Decide(input float64, _ *rand.Rand) (Bin, error) {
+	return r.fn(input), nil
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ LocalRule = ObliviousRule{}
+	_ LocalRule = ThresholdRule{}
+	_ LocalRule = FuncRule{}
+)
+
+// System is an n-player no-communication decision-making instance: one
+// LocalRule per player and a common bin capacity δ.
+type System struct {
+	rules    []LocalRule
+	capacity float64
+}
+
+// NewSystem builds a system from per-player rules and the bin capacity δ.
+// At least two players are required (matching the paper's n ≥ 2), every
+// rule must be non-nil, and the capacity must be strictly positive.
+func NewSystem(rules []LocalRule, capacity float64) (*System, error) {
+	if len(rules) < 2 {
+		return nil, fmt.Errorf("model: need at least 2 players, got %d", len(rules))
+	}
+	if !(capacity > 0) || math.IsInf(capacity, 1) {
+		return nil, fmt.Errorf("model: capacity %v must be strictly positive and finite", capacity)
+	}
+	cp := make([]LocalRule, len(rules))
+	for i, r := range rules {
+		if r == nil {
+			return nil, fmt.Errorf("model: nil rule for player %d", i)
+		}
+		cp[i] = r
+	}
+	return &System{rules: cp, capacity: capacity}, nil
+}
+
+// UniformSystem builds a system in which every player runs the same rule.
+func UniformSystem(n int, rule LocalRule, capacity float64) (*System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("model: need at least 2 players, got %d", n)
+	}
+	rules := make([]LocalRule, n)
+	for i := range rules {
+		rules[i] = rule
+	}
+	return NewSystem(rules, capacity)
+}
+
+// N returns the number of players.
+func (s *System) N() int { return len(s.rules) }
+
+// Capacity returns the bin capacity δ.
+func (s *System) Capacity() float64 { return s.capacity }
+
+// Rule returns player i's rule. It returns an error for an out-of-range
+// index.
+func (s *System) Rule(i int) (LocalRule, error) {
+	if i < 0 || i >= len(s.rules) {
+		return nil, fmt.Errorf("model: player index %d out of range [0, %d)", i, len(s.rules))
+	}
+	return s.rules[i], nil
+}
+
+// Outcome is the result of playing one round.
+type Outcome struct {
+	// Decisions holds each player's bin choice.
+	Decisions []Bin
+	// Load0 and Load1 are the total inputs placed in each bin (the paper's
+	// Σ_0 and Σ_1).
+	Load0, Load1 float64
+	// Win reports whether neither bin overflowed: Σ_0 ≤ δ and Σ_1 ≤ δ.
+	Win bool
+}
+
+// Play evaluates the system on the given input vector. inputs must have
+// one entry per player, each in [0, 1]. rng is passed to randomized rules
+// and may be nil when all rules are deterministic.
+func (s *System) Play(inputs []float64, rng *rand.Rand) (Outcome, error) {
+	if len(inputs) != len(s.rules) {
+		return Outcome{}, fmt.Errorf("model: %d inputs for %d players", len(inputs), len(s.rules))
+	}
+	out := Outcome{Decisions: make([]Bin, len(inputs))}
+	for i, x := range inputs {
+		if math.IsNaN(x) || x < 0 || x > 1 {
+			return Outcome{}, fmt.Errorf("model: input %d = %v outside [0, 1]", i, x)
+		}
+		bin, err := s.rules[i].Decide(x, rng)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("model: player %d decision failed: %w", i, err)
+		}
+		if bin != Bin0 && bin != Bin1 {
+			return Outcome{}, fmt.Errorf("model: player %d chose invalid bin %d", i, bin)
+		}
+		out.Decisions[i] = bin
+		if bin == Bin0 {
+			out.Load0 += x
+		} else {
+			out.Load1 += x
+		}
+	}
+	out.Win = out.Load0 <= s.capacity && out.Load1 <= s.capacity
+	return out, nil
+}
+
+// SampleInputs draws one uniform input vector for the system's n players.
+// It returns an error if rng is nil.
+func (s *System) SampleInputs(rng *rand.Rand) ([]float64, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("model: nil random source")
+	}
+	inputs := make([]float64, len(s.rules))
+	for i := range inputs {
+		inputs[i] = rng.Float64()
+	}
+	return inputs, nil
+}
+
+// FeasibleAssignmentExists reports whether some assignment of the given
+// inputs to the two bins keeps both bins within capacity. This is the
+// omniscient (full-information, centralized) benchmark: no distributed
+// algorithm can win on an input vector for which it is false. The check
+// enumerates all 2^(n-1) essentially distinct assignments, so it is meant
+// for the small n used in the paper's experiments.
+func FeasibleAssignmentExists(inputs []float64, capacity float64) (bool, error) {
+	n := len(inputs)
+	if n == 0 {
+		return true, nil
+	}
+	if n > 30 {
+		return false, fmt.Errorf("model: feasibility check limited to 30 players, got %d", n)
+	}
+	if !(capacity > 0) {
+		return false, fmt.Errorf("model: capacity %v must be strictly positive", capacity)
+	}
+	var total float64
+	for i, x := range inputs {
+		if math.IsNaN(x) || x < 0 {
+			return false, fmt.Errorf("model: input %d = %v invalid", i, x)
+		}
+		total += x
+	}
+	if total > 2*capacity {
+		return false, nil
+	}
+	// Fix player 0 in bin 0 (by symmetry) and enumerate the rest.
+	half := uint64(1) << uint(n-1)
+	for mask := uint64(0); mask < half; mask++ {
+		var load0 float64 = inputs[0]
+		for i := 1; i < n; i++ {
+			if mask&(1<<uint(i-1)) == 0 {
+				load0 += inputs[i]
+			}
+		}
+		if load0 <= capacity && total-load0 <= capacity {
+			return true, nil
+		}
+	}
+	return false, nil
+}

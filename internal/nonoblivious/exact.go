@@ -1,0 +1,241 @@
+package nonoblivious
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/combin"
+	"repro/internal/poly"
+)
+
+// MaxNExact bounds the player count for the exact rational Theorem 5.1
+// evaluation of general threshold vectors (Θ(3^n) big.Rat arithmetic).
+const MaxNExact = 10
+
+// WinningProbabilityRat evaluates Theorem 5.1 exactly for rational
+// thresholds and capacity. It is the certified oracle behind the float64
+// path: Σ_b N₀(b)·N₁(b) with both numerators computed in exact rational
+// arithmetic.
+func WinningProbabilityRat(thresholds []*big.Rat, capacity *big.Rat) (*big.Rat, error) {
+	n := len(thresholds)
+	if n < 2 {
+		return nil, fmt.Errorf("nonoblivious: need at least 2 players, got %d", n)
+	}
+	if n > MaxNExact {
+		return nil, fmt.Errorf("nonoblivious: exact evaluation limited to %d players, got %d", MaxNExact, n)
+	}
+	if capacity == nil || capacity.Sign() <= 0 {
+		return nil, fmt.Errorf("nonoblivious: capacity must be strictly positive")
+	}
+	one := big.NewRat(1, 1)
+	for i, a := range thresholds {
+		if a == nil || a.Sign() < 0 || a.Cmp(one) > 0 {
+			return nil, fmt.Errorf("nonoblivious: threshold[%d] outside [0, 1]", i)
+		}
+	}
+	total := new(big.Rat)
+	zeros := make([]*big.Rat, 0, n)
+	ones := make([]*big.Rat, 0, n)
+	err := combin.ForEachSubset(n, func(b uint64) bool {
+		zeros = zeros[:0]
+		ones = ones[:0]
+		for i := 0; i < n; i++ {
+			if b&(1<<uint(i)) == 0 {
+				zeros = append(zeros, thresholds[i])
+			} else {
+				ones = append(ones, thresholds[i])
+			}
+		}
+		n0, err := bin0NumeratorRat(zeros, capacity)
+		if err != nil || n0.Sign() == 0 {
+			return true
+		}
+		n1, err := bin1NumeratorRat(ones, capacity)
+		if err != nil {
+			return true
+		}
+		total.Add(total, n0.Mul(n0, n1))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return total, nil
+}
+
+// bin0NumeratorRat is the exact rational counterpart of bin0Numerator.
+func bin0NumeratorRat(a []*big.Rat, capacity *big.Rat) (*big.Rat, error) {
+	m := len(a)
+	if m == 0 {
+		return big.NewRat(1, 1), nil
+	}
+	total := new(big.Rat)
+	running := new(big.Rat)
+	rem := new(big.Rat)
+	err := combin.ForEachSubsetGray(m, func(mask uint64, flipped int, added bool) bool {
+		if flipped >= 0 {
+			if added {
+				running.Add(running, a[flipped])
+			} else {
+				running.Sub(running, a[flipped])
+			}
+		}
+		rem.Sub(capacity, running)
+		if rem.Sign() <= 0 {
+			return true
+		}
+		term := ratPowLocal(rem, m)
+		if combin.Popcount(mask)%2 == 1 {
+			total.Sub(total, term)
+		} else {
+			total.Add(total, term)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	inv, err := combin.InvFactorialRat(m)
+	if err != nil {
+		return nil, err
+	}
+	total.Mul(total, inv)
+	if total.Sign() < 0 {
+		return new(big.Rat), nil
+	}
+	return total, nil
+}
+
+// bin1NumeratorRat is the exact rational counterpart of bin1Numerator.
+func bin1NumeratorRat(a []*big.Rat, capacity *big.Rat) (*big.Rat, error) {
+	m := len(a)
+	if m == 0 {
+		return big.NewRat(1, 1), nil
+	}
+	one := big.NewRat(1, 1)
+	prod := big.NewRat(1, 1)
+	for _, ai := range a {
+		f := new(big.Rat).Sub(one, ai)
+		prod.Mul(prod, f)
+	}
+	base := new(big.Rat).SetInt64(int64(m))
+	base.Sub(base, capacity)
+	total := new(big.Rat)
+	running := new(big.Rat)
+	rem := new(big.Rat)
+	err := combin.ForEachSubsetGray(m, func(mask uint64, flipped int, added bool) bool {
+		if flipped >= 0 {
+			if added {
+				running.Add(running, a[flipped])
+			} else {
+				running.Sub(running, a[flipped])
+			}
+		}
+		rem.SetInt64(int64(combin.Popcount(mask)))
+		rem.Sub(base, rem)
+		rem.Add(rem, running)
+		if rem.Sign() <= 0 {
+			return true
+		}
+		term := ratPowLocal(rem, m)
+		if combin.Popcount(mask)%2 == 1 {
+			total.Sub(total, term)
+		} else {
+			total.Add(total, term)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	inv, err := combin.InvFactorialRat(m)
+	if err != nil {
+		return nil, err
+	}
+	total.Mul(total, inv)
+	out := new(big.Rat).Sub(prod, total)
+	if out.Sign() < 0 {
+		return new(big.Rat), nil
+	}
+	return out, nil
+}
+
+func ratPowLocal(r *big.Rat, n int) *big.Rat {
+	out := big.NewRat(1, 1)
+	base := new(big.Rat).Set(r)
+	for n > 0 {
+		if n&1 == 1 {
+			out.Mul(out, base)
+		}
+		base.Mul(base, base)
+		n >>= 1
+	}
+	return out
+}
+
+// OptimalityResidual evaluates the Theorem 5.2 optimality condition for
+// the symmetric single-threshold algorithm: dP/dβ at the given rational β,
+// computed exactly from the symbolic piecewise polynomial. A zero value
+// (together with a negative second derivative) certifies a stationary
+// point of the winning probability; the paper's optimal β* satisfies
+// residual = 0. At the exact breakpoints the left piece's derivative is
+// reported.
+func OptimalityResidual(n int, capacity, beta *big.Rat) (*big.Rat, error) {
+	if beta == nil || beta.Sign() < 0 || beta.Cmp(big.NewRat(1, 1)) > 0 {
+		return nil, fmt.Errorf("nonoblivious: threshold outside [0, 1]")
+	}
+	pw, err := SymbolicSymmetric(n, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return pw.Derivative().Eval(beta)
+}
+
+// SecondDerivative evaluates d²P/dβ² at β from the symbolic curve — used
+// together with OptimalityResidual to certify a maximum.
+func SecondDerivative(n int, capacity, beta *big.Rat) (*big.Rat, error) {
+	if beta == nil || beta.Sign() < 0 || beta.Cmp(big.NewRat(1, 1)) > 0 {
+		return nil, fmt.Errorf("nonoblivious: threshold outside [0, 1]")
+	}
+	pw, err := SymbolicSymmetric(n, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return pw.Derivative().Derivative().Eval(beta)
+}
+
+// SweepOptima derives the certified optimum for each instance size in ns
+// with the capacity produced by scale (for example δ = n/3). It is the
+// engine behind the uniformity analyses: the returned β* sequence is
+// non-constant, demonstrating the paper's non-uniformity theorem.
+func SweepOptima(ns []int, scale func(n int) *big.Rat) ([]OptimalResult, error) {
+	if scale == nil {
+		return nil, fmt.Errorf("nonoblivious: nil capacity scaling")
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("nonoblivious: empty instance list")
+	}
+	out := make([]OptimalResult, len(ns))
+	for i, n := range ns {
+		capacity := scale(n)
+		res, err := OptimalSymmetric(n, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("nonoblivious: optimum for n=%d: %w", n, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// PolyFromCondition normalizes an optimality-condition polynomial to monic
+// form for presentation (the paper reports the monic β² - 2β + 6/7).
+func PolyFromCondition(cond poly.RatPoly) poly.RatPoly {
+	if cond.IsZero() {
+		return cond
+	}
+	lead := cond.LeadingCoeff()
+	if lead.Sign() == 0 {
+		return cond
+	}
+	return cond.Scale(new(big.Rat).Inv(lead))
+}

@@ -1,0 +1,89 @@
+package oblivious
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestOptimalityResidualRatZeroAtHalfExactly(t *testing.T) {
+	half := big.NewRat(1, 2)
+	for n := 2; n <= 8; n++ {
+		alphas := make([]*big.Rat, n)
+		for i := range alphas {
+			alphas[i] = half
+		}
+		for _, capacity := range []*big.Rat{big.NewRat(1, 1), big.NewRat(int64(n), 3)} {
+			for k := 0; k < n; k++ {
+				r, err := OptimalityResidualRat(alphas, capacity, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Sign() != 0 {
+					t.Errorf("n=%d δ=%v k=%d: exact residual %v, want exactly 0", n, capacity, k, r)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalityResidualRatMatchesFloat(t *testing.T) {
+	alphas := []*big.Rat{big.NewRat(1, 3), big.NewRat(7, 10), big.NewRat(9, 20), big.NewRat(3, 5)}
+	af := make([]float64, len(alphas))
+	for i, a := range alphas {
+		af[i], _ = a.Float64()
+	}
+	capacity := big.NewRat(6, 5)
+	for k := range alphas {
+		exact, err := OptimalityResidualRat(alphas, capacity, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := OptimalityResidual(af, 1.2, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ef, _ := exact.Float64()
+		if math.Abs(approx-ef) > 1e-12 {
+			t.Errorf("k=%d: float %v vs exact %v", k, approx, ef)
+		}
+	}
+}
+
+func TestOptimalityResidualRatValidation(t *testing.T) {
+	half := big.NewRat(1, 2)
+	one := big.NewRat(1, 1)
+	pair := []*big.Rat{half, half}
+	if _, err := OptimalityResidualRat([]*big.Rat{half}, one, 0); err == nil {
+		t.Error("single player: expected error")
+	}
+	if _, err := OptimalityResidualRat(pair, one, -1); err == nil {
+		t.Error("k=-1: expected error")
+	}
+	if _, err := OptimalityResidualRat(pair, one, 2); err == nil {
+		t.Error("k out of range: expected error")
+	}
+	if _, err := OptimalityResidualRat(pair, nil, 0); err == nil {
+		t.Error("nil capacity: expected error")
+	}
+	if _, err := OptimalityResidualRat(pair, big.NewRat(0, 1), 0); err == nil {
+		t.Error("zero capacity: expected error")
+	}
+	if _, err := OptimalityResidualRat([]*big.Rat{half, nil}, one, 0); err == nil {
+		t.Error("nil α: expected error")
+	}
+	if _, err := OptimalityResidualRat([]*big.Rat{half, big.NewRat(2, 1)}, one, 0); err == nil {
+		t.Error("α > 1: expected error")
+	}
+}
+
+func TestOptimalityResidualRatNonZeroAwayFromHalf(t *testing.T) {
+	alphas := []*big.Rat{big.NewRat(9, 10), big.NewRat(1, 10), big.NewRat(1, 2)}
+	r, err := OptimalityResidualRat(alphas, big.NewRat(1, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sign() == 0 {
+		t.Error("residual at asymmetric point should be non-zero")
+	}
+}

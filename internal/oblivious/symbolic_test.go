@@ -1,0 +1,144 @@
+package oblivious
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestSymbolicSymmetricMatchesFloat(t *testing.T) {
+	cases := []struct {
+		n   int
+		cap *big.Rat
+	}{
+		{2, big.NewRat(2, 3)},
+		{3, big.NewRat(1, 1)},
+		{4, big.NewRat(4, 3)},
+		{5, big.NewRat(5, 3)},
+		{7, big.NewRat(7, 3)},
+	}
+	for _, c := range cases {
+		curve, err := SymbolicSymmetric(c.n, c.cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if curve.Degree() > c.n {
+			t.Errorf("n=%d: curve degree %d exceeds n", c.n, curve.Degree())
+		}
+		cf, _ := c.cap.Float64()
+		for num := int64(0); num <= 16; num++ {
+			a := big.NewRat(num, 16)
+			af, _ := a.Float64()
+			exact := curve.Eval(a)
+			ef, _ := exact.Float64()
+			approx, err := SymmetricWinningProbability(c.n, cf, af)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(approx-ef) > 1e-12 {
+				t.Errorf("n=%d a=%v: float %v vs exact %v", c.n, af, approx, ef)
+			}
+		}
+	}
+}
+
+func TestSymbolicSymmetricKnownValueN3(t *testing.T) {
+	curve, err := SymbolicSymmetric(3, big.NewRat(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(1/2) = 5/12 exactly.
+	if got := curve.Eval(big.NewRat(1, 2)); got.Cmp(big.NewRat(5, 12)) != 0 {
+		t.Errorf("P(1/2) = %v, want exactly 5/12", got)
+	}
+	// P(a) = (a³+(1-a)³)/6 + (3/2)a(1-a): expand to
+	// 1/6 + a(1-a)·(3/2 - 1/2·...)— just verify P(0) = P(1) = 1/6.
+	if got := curve.Eval(new(big.Rat)); got.Cmp(big.NewRat(1, 6)) != 0 {
+		t.Errorf("P(0) = %v, want 1/6", got)
+	}
+	if got := curve.Eval(big.NewRat(1, 1)); got.Cmp(big.NewRat(1, 6)) != 0 {
+		t.Errorf("P(1) = %v, want 1/6", got)
+	}
+}
+
+func TestSymbolicSymmetricValidation(t *testing.T) {
+	if _, err := SymbolicSymmetric(1, big.NewRat(1, 1)); err == nil {
+		t.Error("n=1: expected error")
+	}
+	if _, err := SymbolicSymmetric(3, nil); err == nil {
+		t.Error("nil capacity: expected error")
+	}
+	if _, err := SymbolicSymmetric(3, big.NewRat(-1, 1)); err == nil {
+		t.Error("negative capacity: expected error")
+	}
+}
+
+func TestCertifyHalfOptimalAcrossInstances(t *testing.T) {
+	// Theorem 4.3 certified exactly: a = 1/2 is critical and maximal
+	// among interior critical points for every tested instance.
+	cases := []struct {
+		n   int
+		cap *big.Rat
+	}{
+		{2, big.NewRat(2, 3)},
+		{3, big.NewRat(1, 1)},
+		{4, big.NewRat(4, 3)},
+		{5, big.NewRat(5, 3)},
+		{6, big.NewRat(2, 1)},
+		{8, big.NewRat(8, 3)},
+		{4, big.NewRat(1, 2)},
+	}
+	for _, c := range cases {
+		cert, err := CertifyHalfOptimal(c.n, c.cap)
+		if err != nil {
+			t.Fatalf("n=%d δ=%v: %v", c.n, c.cap, err)
+		}
+		if !cert.HalfIsCritical {
+			t.Errorf("n=%d δ=%v: a=1/2 not critical", c.n, c.cap)
+		}
+		if !cert.HalfIsMaximum {
+			t.Errorf("n=%d δ=%v: a=1/2 not maximal among critical points", c.n, c.cap)
+		}
+		if cert.InteriorCritical < 1 {
+			t.Errorf("n=%d δ=%v: expected at least the 1/2 critical point, got %d",
+				c.n, c.cap, cert.InteriorCritical)
+		}
+		// The certificate's exact value agrees with the float optimum.
+		vf, _ := cert.HalfValue.Float64()
+		cf, _ := c.cap.Float64()
+		opt, err := Optimal(c.n, cf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(vf-opt.WinProbability) > 1e-12 {
+			t.Errorf("n=%d δ=%v: certificate %v vs float %v", c.n, c.cap, vf, opt.WinProbability)
+		}
+	}
+}
+
+func TestCertifyHalfOptimalDegenerate(t *testing.T) {
+	// δ ≥ n: every outcome wins, P ≡ 1, derivative is the zero
+	// polynomial.
+	cert, err := CertifyHalfOptimal(3, big.NewRat(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Derivative.IsZero() {
+		t.Errorf("derivative = %v, want 0", cert.Derivative)
+	}
+	if !cert.HalfIsMaximum || cert.InteriorCritical != 0 {
+		t.Errorf("degenerate certificate wrong: %+v", cert)
+	}
+	if cert.HalfValue.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("P(1/2) = %v, want 1", cert.HalfValue)
+	}
+}
+
+func TestCertifyHalfOptimalValidation(t *testing.T) {
+	if _, err := CertifyHalfOptimal(0, big.NewRat(1, 1)); err == nil {
+		t.Error("n=0: expected error")
+	}
+	if _, err := CertifyHalfOptimal(3, big.NewRat(0, 1)); err == nil {
+		t.Error("zero capacity: expected error")
+	}
+}

@@ -1,0 +1,220 @@
+// Package plot renders line charts as ASCII (for terminals) and SVG (for
+// files) using only the standard library. It exists to regenerate the
+// paper's two figures; the harness package feeds it winning-probability
+// series.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line: y[i] plotted against x[i].
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// X and Y are the coordinates; they must have equal non-zero length.
+	X, Y []float64
+}
+
+func (s Series) validate() error {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x and %d y points", s.Name, len(s.X), len(s.Y))
+	}
+	for i := range s.X {
+		if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+			return fmt.Errorf("plot: series %q has NaN at index %d", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// Options configures a chart.
+type Options struct {
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Width and Height are the plot-area dimensions: characters for
+	// ASCII, pixels for SVG. Zero selects defaults (72×20 ASCII,
+	// 720×420 SVG).
+	Width, Height int
+}
+
+func bounds(series []Series) (xmin, xmax, ymin, ymax float64, err error) {
+	if len(series) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("plot: no series")
+	}
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range series {
+		if err := s.validate(); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, nil
+}
+
+var asciiMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// ASCII renders the series as a monospaced line chart with axes, ticks
+// and a legend.
+func ASCII(series []Series, opt Options) (string, error) {
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	if width < 16 || height < 4 {
+		return "", fmt.Errorf("plot: ASCII chart area %dx%d too small", width, height)
+	}
+	xmin, xmax, ymin, ymax, err := bounds(series)
+	if err != nil {
+		return "", err
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := asciiMarks[si%len(asciiMarks)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			r := height - 1 - row
+			if r >= 0 && r < height && col >= 0 && col < width {
+				grid[r][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	yLab := fmt.Sprintf("%s ", opt.YLabel)
+	pad := strings.Repeat(" ", len(yLab))
+	for r, row := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%s%8.4f |%s\n", pad, ymax, string(row))
+		case height - 1:
+			fmt.Fprintf(&b, "%s%8.4f |%s\n", pad, ymin, string(row))
+		case height / 2:
+			lbl := opt.YLabel
+			if len(lbl) > len(pad) {
+				lbl = lbl[:len(pad)]
+			}
+			fmt.Fprintf(&b, "%-*s%8s |%s\n", len(pad), lbl, "", string(row))
+		default:
+			fmt.Fprintf(&b, "%s%8s |%s\n", pad, "", string(row))
+		}
+	}
+	fmt.Fprintf(&b, "%s%8s +%s\n", pad, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s%8s  %-10.4f%*s%10.4f  %s\n", pad, "", xmin, width-22, "", xmax, opt.XLabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%s%8s  %c %s\n", pad, "", asciiMarks[si%len(asciiMarks)], s.Name)
+	}
+	return b.String(), nil
+}
+
+var svgColors = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// SVG renders the series as a standalone SVG document.
+func SVG(series []Series, opt Options) (string, error) {
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 420
+	}
+	if width < 100 || height < 80 {
+		return "", fmt.Errorf("plot: SVG area %dx%d too small", width, height)
+	}
+	xmin, xmax, ymin, ymax, err := bounds(series)
+	if err != nil {
+		return "", err
+	}
+	const marginL, marginR, marginT, marginB = 64, 24, 36, 48
+	pw := float64(width - marginL - marginR)
+	ph := float64(height - marginT - marginB)
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*pw }
+	py := func(y float64) float64 { return float64(marginT) + ph - (y-ymin)/(ymax-ymin)*ph }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if opt.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			width/2, xmlEscape(opt.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	// Ticks: 5 on each axis.
+	for i := 0; i <= 4; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/4
+		fy := ymin + (ymax-ymin)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%.3g</text>`+"\n",
+			px(fx), height-marginB+16, fx)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%.3g</text>`+"\n",
+			marginL-6, py(fy)+4, fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			px(fx), marginT, px(fx), height-marginB)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py(fy), width-marginR, py(fy))
+	}
+	if opt.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			width/2, height-10, xmlEscape(opt.XLabel))
+	}
+	if opt.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			height/2, height/2, xmlEscape(opt.YLabel))
+	}
+	for si, s := range series {
+		color := svgColors[si%len(svgColors)]
+		var pts strings.Builder
+		for i := range s.X {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.2f,%.2f", px(s.X[i]), py(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n",
+			color, pts.String())
+		// Legend entry.
+		ly := marginT + 16*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			width-marginR-130, ly, width-marginR-110, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			width-marginR-104, ly+4, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

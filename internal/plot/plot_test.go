@@ -1,0 +1,122 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sine(n int) Series {
+	s := Series{Name: "sin"}
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n-1)
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, math.Sin(2*math.Pi*x))
+	}
+	return s
+}
+
+func TestASCIIBasics(t *testing.T) {
+	out, err := ASCII([]Series{sine(50)}, Options{
+		Title: "sine", XLabel: "x", YLabel: "y", Width: 60, Height: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sine") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing data marks")
+	}
+	if !strings.Contains(out, "sin") {
+		t.Error("missing legend")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 17 {
+		t.Errorf("chart has %d lines, expected at least height+2", len(lines))
+	}
+}
+
+func TestASCIIMultiSeriesMarks(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}}
+	out, err := ASCII([]Series{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("expected distinct marks for two series")
+	}
+}
+
+func TestASCIIValidation(t *testing.T) {
+	if _, err := ASCII(nil, Options{}); err == nil {
+		t.Error("no series: expected error")
+	}
+	if _, err := ASCII([]Series{{Name: "bad", X: []float64{1}, Y: nil}}, Options{}); err == nil {
+		t.Error("length mismatch: expected error")
+	}
+	if _, err := ASCII([]Series{{Name: "nan", X: []float64{math.NaN()}, Y: []float64{1}}}, Options{}); err == nil {
+		t.Error("NaN: expected error")
+	}
+	if _, err := ASCII([]Series{sine(5)}, Options{Width: 5, Height: 2}); err == nil {
+		t.Error("tiny area: expected error")
+	}
+}
+
+func TestASCIIConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	s := Series{Name: "const", X: []float64{0, 1, 2}, Y: []float64{3, 3, 3}}
+	out, err := ASCII([]Series{s}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("constant series should still draw marks")
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out, err := SVG([]Series{sine(50)}, Options{
+		Title: "sine & cosine", XLabel: "x", YLabel: "amplitude",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "<polyline", "sine &amp; cosine", "amplitude"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 1 {
+		t.Errorf("expected exactly 1 polyline, got %d", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestSVGMultipleSeriesDistinctColors(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}}
+	out, err := SVG([]Series{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, svgColors[0]) || !strings.Contains(out, svgColors[1]) {
+		t.Error("expected two distinct stroke colors")
+	}
+}
+
+func TestSVGValidation(t *testing.T) {
+	if _, err := SVG(nil, Options{}); err == nil {
+		t.Error("no series: expected error")
+	}
+	if _, err := SVG([]Series{sine(5)}, Options{Width: 50, Height: 50}); err == nil {
+		t.Error("tiny area: expected error")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c"`); got != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Errorf("xmlEscape = %q", got)
+	}
+}

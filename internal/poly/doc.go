@@ -1,0 +1,20 @@
+// Package poly implements univariate polynomial algebra in two numeric
+// domains: exact rationals (RatPoly, over math/big.Rat) and float64 (Poly).
+//
+// The reproduction uses polynomials to derive and solve the paper's
+// optimality conditions symbolically rather than only numerically:
+//
+//   - Section 5.2 of the paper expands the winning probability of a
+//     symmetric single-threshold algorithm into a piecewise polynomial in
+//     the common threshold β. Piecewise (piecewise.go) represents such
+//     functions with exact rational breakpoints and exact coefficients.
+//   - Optimal thresholds are roots of the derivative. Sturm sequences
+//     (sturm.go) isolate all real roots exactly, and rational bisection
+//     refines them to any requested accuracy, so the optimum β* and the
+//     optimal winning probability are obtained with certified enclosures
+//     instead of heuristic numeric optimization.
+//
+// Coefficients are stored in ascending order (index i holds the coefficient
+// of x^i) with no trailing zero terms; the zero polynomial has an empty
+// coefficient slice and degree -1.
+package poly

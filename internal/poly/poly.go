@@ -1,0 +1,199 @@
+package poly
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Poly is a univariate polynomial with float64 coefficients in ascending
+// order of degree. It is the fast-path companion of RatPoly: evaluation and
+// calculus are cheap, but root finding and optimality certificates are done
+// on the exact RatPoly side. Poly values are immutable by convention.
+type Poly struct {
+	coeffs []float64
+}
+
+// NewPoly builds a polynomial from ascending coefficients, copying the
+// slice and trimming trailing zeros.
+func NewPoly(coeffs []float64) Poly {
+	n := len(coeffs)
+	for n > 0 && coeffs[n-1] == 0 {
+		n--
+	}
+	cp := make([]float64, n)
+	copy(cp, coeffs[:n])
+	return Poly{coeffs: cp}
+}
+
+// PolyFromCoeffs is a variadic convenience constructor for NewPoly.
+func PolyFromCoeffs(coeffs ...float64) Poly { return NewPoly(coeffs) }
+
+// Degree returns the degree of p, with -1 for the zero polynomial.
+func (p Poly) Degree() int { return len(p.coeffs) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.coeffs) == 0 }
+
+// Coeff returns the coefficient of x^i (zero beyond the degree).
+func (p Poly) Coeff(i int) float64 {
+	if i < 0 || i >= len(p.coeffs) {
+		return 0
+	}
+	return p.coeffs[i]
+}
+
+// Coeffs returns a copy of the ascending coefficient slice.
+func (p Poly) Coeffs() []float64 {
+	out := make([]float64, len(p.coeffs))
+	copy(out, p.coeffs)
+	return out
+}
+
+// Eval evaluates p at x using Horner's scheme.
+func (p Poly) Eval(x float64) float64 {
+	var result float64
+	for i := len(p.coeffs) - 1; i >= 0; i-- {
+		result = result*x + p.coeffs[i]
+	}
+	return result
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := max(len(p.coeffs), len(q.coeffs))
+	out := make([]float64, n)
+	for i := range out {
+		if i < len(p.coeffs) {
+			out[i] += p.coeffs[i]
+		}
+		if i < len(q.coeffs) {
+			out[i] += q.coeffs[i]
+		}
+	}
+	return NewPoly(out)
+}
+
+// Sub returns p - q.
+func (p Poly) Sub(q Poly) Poly {
+	n := max(len(p.coeffs), len(q.coeffs))
+	out := make([]float64, n)
+	for i := range out {
+		if i < len(p.coeffs) {
+			out[i] += p.coeffs[i]
+		}
+		if i < len(q.coeffs) {
+			out[i] -= q.coeffs[i]
+		}
+	}
+	return NewPoly(out)
+}
+
+// Mul returns p · q.
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return Poly{}
+	}
+	out := make([]float64, len(p.coeffs)+len(q.coeffs)-1)
+	for i, pc := range p.coeffs {
+		for j, qc := range q.coeffs {
+			out[i+j] += pc * qc
+		}
+	}
+	return NewPoly(out)
+}
+
+// Scale returns c·p.
+func (p Poly) Scale(c float64) Poly {
+	out := make([]float64, len(p.coeffs))
+	for i, pc := range p.coeffs {
+		out[i] = c * pc
+	}
+	return NewPoly(out)
+}
+
+// Derivative returns dp/dx.
+func (p Poly) Derivative() Poly {
+	if len(p.coeffs) <= 1 {
+		return Poly{}
+	}
+	out := make([]float64, len(p.coeffs)-1)
+	for i := 1; i < len(p.coeffs); i++ {
+		out[i-1] = float64(i) * p.coeffs[i]
+	}
+	return NewPoly(out)
+}
+
+// NewtonRefine polishes a root estimate x0 of p with Newton iterations,
+// falling back to bisection behaviour by damping steps that leave
+// [lo, hi]. It returns the refined root, or an error if the iteration
+// fails to converge within 100 steps.
+func (p Poly) NewtonRefine(x0, lo, hi, tol float64) (float64, error) {
+	if !(lo <= x0 && x0 <= hi) {
+		return 0, fmt.Errorf("poly: initial guess %g outside [%g, %g]", x0, lo, hi)
+	}
+	d := p.Derivative()
+	x := x0
+	for i := 0; i < 100; i++ {
+		fx := p.Eval(x)
+		if math.Abs(fx) <= tol {
+			return x, nil
+		}
+		dx := d.Eval(x)
+		if dx == 0 {
+			return 0, fmt.Errorf("poly: zero derivative at %g during Newton refinement", x)
+		}
+		next := x - fx/dx
+		if next < lo {
+			next = (x + lo) / 2
+		}
+		if next > hi {
+			next = (x + hi) / 2
+		}
+		if math.Abs(next-x) <= tol*math.Max(1, math.Abs(x)) {
+			return next, nil
+		}
+		x = next
+	}
+	return 0, fmt.Errorf("poly: Newton refinement did not converge from %g", x0)
+}
+
+// String renders p in human-readable form, highest degree first.
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i := len(p.coeffs) - 1; i >= 0; i-- {
+		c := p.coeffs[i]
+		if c == 0 {
+			continue
+		}
+		if !first {
+			if c > 0 {
+				b.WriteString(" + ")
+			} else {
+				b.WriteString(" - ")
+			}
+			c = math.Abs(c)
+		}
+		first = false
+		switch {
+		case i == 0:
+			fmt.Fprintf(&b, "%g", c)
+		case c == 1:
+		case c == -1:
+			b.WriteString("-")
+		default:
+			fmt.Fprintf(&b, "%g·", c)
+		}
+		switch {
+		case i == 1:
+			b.WriteString("x")
+		case i > 1:
+			fmt.Fprintf(&b, "x^%d", i)
+		}
+	}
+	return b.String()
+}

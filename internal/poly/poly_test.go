@@ -1,0 +1,142 @@
+package poly
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyConstructionAndAccessors(t *testing.T) {
+	p := PolyFromCoeffs(1, 0, 2, 0, 0) // 1 + 2x^2, trailing zeros trimmed
+	if p.Degree() != 2 {
+		t.Errorf("degree = %d, want 2", p.Degree())
+	}
+	if p.Coeff(0) != 1 || p.Coeff(1) != 0 || p.Coeff(2) != 2 {
+		t.Errorf("coefficients = %v", p.Coeffs())
+	}
+	if p.Coeff(-1) != 0 || p.Coeff(9) != 0 {
+		t.Error("out-of-range Coeff should be 0")
+	}
+	var z Poly
+	if !z.IsZero() || z.Degree() != -1 || z.Eval(3) != 0 {
+		t.Error("zero polynomial invariants violated")
+	}
+}
+
+func TestNewPolyCopiesInput(t *testing.T) {
+	in := []float64{1, 2}
+	p := NewPoly(in)
+	in[0] = 50
+	if p.Coeff(0) != 1 {
+		t.Error("NewPoly did not copy input slice")
+	}
+}
+
+func TestPolyEvalHorner(t *testing.T) {
+	p := PolyFromCoeffs(-6, 11, -6, 1) // (x-1)(x-2)(x-3)
+	for _, root := range []float64{1, 2, 3} {
+		if v := p.Eval(root); math.Abs(v) > 1e-12 {
+			t.Errorf("p(%g) = %g, want 0", root, v)
+		}
+	}
+	if v := p.Eval(0); v != -6 {
+		t.Errorf("p(0) = %g, want -6", v)
+	}
+}
+
+func TestPolyArithmetic(t *testing.T) {
+	p := PolyFromCoeffs(1, 2)
+	q := PolyFromCoeffs(3, -2)
+	if got := p.Add(q); got.Degree() != 0 || got.Coeff(0) != 4 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got.Coeff(0) != -2 || got.Coeff(1) != 4 {
+		t.Errorf("Sub = %v", got)
+	}
+	prod := p.Mul(q)
+	want := PolyFromCoeffs(3, 4, -4)
+	for i := 0; i <= 2; i++ {
+		if prod.Coeff(i) != want.Coeff(i) {
+			t.Errorf("Mul coeff %d = %g, want %g", i, prod.Coeff(i), want.Coeff(i))
+		}
+	}
+	if !p.Mul(Poly{}).IsZero() {
+		t.Error("Mul by zero should be zero")
+	}
+	if got := p.Scale(2); got.Coeff(1) != 4 {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestPolyDerivative(t *testing.T) {
+	p := PolyFromCoeffs(5, 0, 3, 2)
+	d := p.Derivative()
+	if d.Coeff(0) != 0 || d.Coeff(1) != 6 || d.Coeff(2) != 6 {
+		t.Errorf("derivative = %v", d.Coeffs())
+	}
+	if !PolyFromCoeffs(7).Derivative().IsZero() {
+		t.Error("derivative of constant should be zero")
+	}
+}
+
+func TestPolyNewtonRefine(t *testing.T) {
+	p := PolyFromCoeffs(-2, 0, 1) // x^2 - 2
+	root, err := p.NewtonRefine(1.5, 1, 2, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Errorf("refined root = %v, want sqrt(2)", root)
+	}
+	if _, err := p.NewtonRefine(5, 1, 2, 1e-14); err == nil {
+		t.Error("out-of-interval guess: expected error")
+	}
+	// Zero derivative at the guess on a flat polynomial.
+	flat := PolyFromCoeffs(1)
+	if _, err := flat.NewtonRefine(0.5, 0, 1, 1e-14); err == nil {
+		t.Error("flat polynomial with no root: expected error")
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want string
+	}{
+		{Poly{}, "0"},
+		{PolyFromCoeffs(3), "3"},
+		{PolyFromCoeffs(0, 1), "x"},
+		{PolyFromCoeffs(-1, 0, 2), "2·x^2 - 1"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPolyFloatMatchesRatProperty(t *testing.T) {
+	f := func(c0, c1, c2, c3 int16, xi int8) bool {
+		rp := RatPolyFromInt64(int64(c0), int64(c1), int64(c2), int64(c3))
+		fp := rp.Float()
+		x := float64(xi) / 32
+		return math.Abs(fp.Eval(x)-rp.EvalFloat(x)) <= 1e-9*(1+math.Abs(rp.EvalFloat(x)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyMulEvalHomomorphismProperty(t *testing.T) {
+	f := func(a0, a1, b0, b1 int8, xi int8) bool {
+		p := PolyFromCoeffs(float64(a0), float64(a1))
+		q := PolyFromCoeffs(float64(b0), float64(b1))
+		x := float64(xi) / 16
+		lhs := p.Mul(q).Eval(x)
+		rhs := p.Eval(x) * q.Eval(x)
+		return math.Abs(lhs-rhs) <= 1e-9*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package py91
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// EvaluateByQuadrature computes a deterministic protocol's winning
+// probability by midpoint quadrature over the three-dimensional input
+// cube: the cube is split into grid³ cells and the win indicator is
+// evaluated at each cell centre. For protocols whose decision regions have
+// piecewise-smooth boundaries the error is O(1/grid). It provides a
+// deterministic, simulation-free oracle to cross-check Evaluate against.
+func EvaluateByQuadrature(p Protocol, grid int) (float64, error) {
+	if p == nil {
+		return 0, fmt.Errorf("py91: nil protocol")
+	}
+	if grid < 4 || grid > 1024 {
+		return 0, fmt.Errorf("py91: grid %d outside [4, 1024]", grid)
+	}
+	h := 1.0 / float64(grid)
+	wins := 0
+	total := grid * grid * grid
+	var x [Players]float64
+	for i := 0; i < grid; i++ {
+		x[0] = (float64(i) + 0.5) * h
+		for j := 0; j < grid; j++ {
+			x[1] = (float64(j) + 0.5) * h
+			for k := 0; k < grid; k++ {
+				x[2] = (float64(k) + 0.5) * h
+				bins, err := p.Decide(x)
+				if err != nil {
+					return 0, fmt.Errorf("py91: decision failed at %v: %w", x, err)
+				}
+				var load0, load1 float64
+				for l := range x {
+					if bins[l] == model.Bin0 {
+						load0 += x[l]
+					} else {
+						load1 += x[l]
+					}
+				}
+				if load0 <= Capacity && load1 <= Capacity {
+					wins++
+				}
+			}
+		}
+	}
+	return float64(wins) / float64(total), nil
+}

@@ -1,0 +1,81 @@
+package py91
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuadratureMatchesExactForThreshold(t *testing.T) {
+	proto := ConjecturedOptimal()
+	exact, err := proto.ExactWinProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := EvaluateByQuadrature(proto, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(quad-exact) > 3e-3 {
+		t.Errorf("quadrature %v vs exact %v", quad, exact)
+	}
+}
+
+func TestQuadratureMatchesSimulationForWeighted(t *testing.T) {
+	proto, err := NewWeightedAverageProtocol(Broadcast, 0.55, 0.7, 0.7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := EvaluateByQuadrature(proto, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(proto, SimConfig{Trials: 400000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(quad-ev.P) > 4*ev.StdErr+3e-3 {
+		t.Errorf("quadrature %v vs simulation %v ± %v", quad, ev.P, ev.StdErr)
+	}
+}
+
+func TestQuadratureFullInformationIsThreeQuarters(t *testing.T) {
+	quad, err := EvaluateByQuadrature(FullInformationProtocol{}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(quad-0.75) > 3e-3 {
+		t.Errorf("full information quadrature = %v, want 3/4", quad)
+	}
+}
+
+func TestQuadratureConvergence(t *testing.T) {
+	proto := ConjecturedOptimal()
+	exact, err := proto.ExactWinProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := EvaluateByQuadrature(proto, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := EvaluateByQuadrature(proto, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fine-exact) > math.Abs(coarse-exact)+1e-6 {
+		t.Errorf("refining the grid should not worsen the estimate: coarse err %v, fine err %v",
+			math.Abs(coarse-exact), math.Abs(fine-exact))
+	}
+}
+
+func TestQuadratureValidation(t *testing.T) {
+	if _, err := EvaluateByQuadrature(nil, 100); err == nil {
+		t.Error("nil protocol: expected error")
+	}
+	if _, err := EvaluateByQuadrature(ConjecturedOptimal(), 2); err == nil {
+		t.Error("tiny grid: expected error")
+	}
+	if _, err := EvaluateByQuadrature(ConjecturedOptimal(), 2048); err == nil {
+		t.Error("huge grid: expected error")
+	}
+}

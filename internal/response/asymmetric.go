@@ -1,0 +1,172 @@
+package response
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/combin"
+	"repro/internal/dist"
+)
+
+// WinProbabilityVector evaluates the fully general deterministic
+// no-communication algorithm: player i places its input in bin 0 exactly
+// when it lies in sets[i]. This is the asymmetric extension of
+// ExactWinProbability in float64: for every decision vector b, the joint
+// probability that the bin-0 players' inputs land in their sets with a
+// fitting sum decomposes over the pattern of intervals chosen, each
+// pattern reducing to a shifted Lemma 2.4 CDF.
+//
+// Cost grows as 2^n × Π(intervals per player), so n is capped at 10 and
+// each player's region at 4 intervals.
+func WinProbabilityVector(sets []IntervalSet, capacity float64) (float64, error) {
+	n := len(sets)
+	if n < 2 {
+		return 0, fmt.Errorf("response: need at least 2 players, got %d", n)
+	}
+	if n > 10 {
+		return 0, fmt.Errorf("response: vector evaluation limited to 10 players, got %d", n)
+	}
+	if !(capacity > 0) || math.IsInf(capacity, 1) {
+		return 0, fmt.Errorf("response: capacity %v must be strictly positive and finite", capacity)
+	}
+	complements := make([]IntervalSet, n)
+	for i, s := range sets {
+		if len(s.intervals) > 4 {
+			return 0, fmt.Errorf("response: player %d has %d intervals, max 4", i, len(s.intervals))
+		}
+		complements[i] = s.Complement()
+	}
+	var total combin.Accumulator
+	zeroSets := make([]IntervalSet, 0, n)
+	oneSets := make([]IntervalSet, 0, n)
+	err := combin.ForEachSubset(n, func(b uint64) bool {
+		zeroSets = zeroSets[:0]
+		oneSets = oneSets[:0]
+		for i := 0; i < n; i++ {
+			if b&(1<<uint(i)) == 0 {
+				zeroSets = append(zeroSets, sets[i])
+			} else {
+				oneSets = append(oneSets, complements[i])
+			}
+		}
+		m0 := jointMass(zeroSets, capacity)
+		if m0 == 0 {
+			return true
+		}
+		m1 := jointMass(oneSets, capacity)
+		total.Add(m0 * m1)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(total.Sum()), nil
+}
+
+// WinProbabilityVectorPairs evaluates the most general event this package
+// supports: player i contributes to bin 0 when its input lies in
+// bin0[i], to bin 1 when it lies in bin1[i], and the round is only
+// counted when every input lands in bin0[i] ∪ bin1[i] (the pair may
+// cover less than [0,1], which is how conditioning on a communication
+// outcome — e.g. a broadcast bit fixing a sub-range of the sender's input
+// — enters the framework). bin0[i] and bin1[i] must be disjoint. The
+// returned value is the UNCONDITIONAL probability
+// P(all inputs covered ∧ Σ₀ ≤ δ ∧ Σ₁ ≤ δ); summing it over a partition of
+// conditioning events yields a protocol's total winning probability.
+func WinProbabilityVectorPairs(bin0, bin1 []IntervalSet, capacity float64) (float64, error) {
+	n := len(bin0)
+	if n < 2 {
+		return 0, fmt.Errorf("response: need at least 2 players, got %d", n)
+	}
+	if len(bin1) != n {
+		return 0, fmt.Errorf("response: %d bin-0 regions but %d bin-1 regions", n, len(bin1))
+	}
+	if n > 10 {
+		return 0, fmt.Errorf("response: vector evaluation limited to 10 players, got %d", n)
+	}
+	if !(capacity > 0) || math.IsInf(capacity, 1) {
+		return 0, fmt.Errorf("response: capacity %v must be strictly positive and finite", capacity)
+	}
+	for i := 0; i < n; i++ {
+		if len(bin0[i].intervals) > 4 || len(bin1[i].intervals) > 4 {
+			return 0, fmt.Errorf("response: player %d exceeds 4 intervals per region", i)
+		}
+		for _, a := range bin0[i].intervals {
+			for _, b := range bin1[i].intervals {
+				if a.Lo < b.Hi && b.Lo < a.Hi {
+					return 0, fmt.Errorf("response: player %d bin regions overlap on [%v, %v]",
+						i, math.Max(a.Lo, b.Lo), math.Min(a.Hi, b.Hi))
+				}
+			}
+		}
+	}
+	var total combin.Accumulator
+	zeroSets := make([]IntervalSet, 0, n)
+	oneSets := make([]IntervalSet, 0, n)
+	err := combin.ForEachSubset(n, func(b uint64) bool {
+		zeroSets = zeroSets[:0]
+		oneSets = oneSets[:0]
+		for i := 0; i < n; i++ {
+			if b&(1<<uint(i)) == 0 {
+				zeroSets = append(zeroSets, bin0[i])
+			} else {
+				oneSets = append(oneSets, bin1[i])
+			}
+		}
+		m0 := jointMass(zeroSets, capacity)
+		if m0 == 0 {
+			return true
+		}
+		m1 := jointMass(oneSets, capacity)
+		total.Add(m0 * m1)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(total.Sum()), nil
+}
+
+// jointMass returns P(x_i ∈ regions[i] for all i, Σ x_i ≤ capacity) for
+// independent U[0,1] inputs, by summing over the interval pattern each
+// input selects.
+func jointMass(regions []IntervalSet, capacity float64) float64 {
+	m := len(regions)
+	if m == 0 {
+		return 1
+	}
+	var acc combin.Accumulator
+	widths := make([]float64, m)
+	pattern := make([]int, m)
+	var recurse func(idx int, lowSum, volume float64)
+	recurse = func(idx int, lowSum, volume float64) {
+		if volume == 0 {
+			return
+		}
+		if idx == m {
+			shifted := capacity - lowSum
+			if shifted <= 0 {
+				return
+			}
+			// Widths may contain zeros for degenerate intervals; those
+			// were filtered out by the volume check (volume would be 0).
+			u, err := dist.NewUniformSum(widths)
+			if err != nil {
+				return
+			}
+			acc.Add(volume * u.CDF(shifted))
+			return
+		}
+		for j, iv := range regions[idx].intervals {
+			w := iv.Hi - iv.Lo
+			if w <= 0 {
+				continue
+			}
+			pattern[idx] = j
+			widths[idx] = w
+			recurse(idx+1, lowSum+iv.Lo, volume*w)
+		}
+	}
+	recurse(0, 0, 1)
+	return acc.Sum()
+}

@@ -1,0 +1,205 @@
+package response
+
+import (
+	"math"
+	"math/big"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func mustDensity(t *testing.T, breaks, heights []*big.Rat) PiecewiseDensity {
+	t.Helper()
+	d, err := NewPiecewiseDensity(breaks, heights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// skewedDensity has density 3/2 on [0, 1/2] and 1/2 on [1/2, 1]: small
+// inputs are three times likelier than large ones.
+func skewedDensity(t *testing.T) PiecewiseDensity {
+	t.Helper()
+	return mustDensity(t,
+		[]*big.Rat{new(big.Rat), rr(1, 2), rr(1, 1)},
+		[]*big.Rat{rr(3, 2), rr(1, 2)},
+	)
+}
+
+func TestNewPiecewiseDensityValidation(t *testing.T) {
+	one := rr(1, 1)
+	if _, err := NewPiecewiseDensity([]*big.Rat{new(big.Rat), one}, nil); err == nil {
+		t.Error("missing heights: expected error")
+	}
+	if _, err := NewPiecewiseDensity([]*big.Rat{new(big.Rat), one}, []*big.Rat{rr(1, 2)}); err == nil {
+		t.Error("mass 1/2: expected error")
+	}
+	if _, err := NewPiecewiseDensity([]*big.Rat{rr(1, 10), one}, []*big.Rat{one}); err == nil {
+		t.Error("not spanning 0: expected error")
+	}
+	if _, err := NewPiecewiseDensity([]*big.Rat{new(big.Rat), rr(1, 2)}, []*big.Rat{rr(2, 1)}); err == nil {
+		t.Error("not spanning 1: expected error")
+	}
+	if _, err := NewPiecewiseDensity([]*big.Rat{new(big.Rat), one, one}, []*big.Rat{one, one}); err == nil {
+		t.Error("non-increasing breaks: expected error")
+	}
+	if _, err := NewPiecewiseDensity([]*big.Rat{new(big.Rat), rr(1, 2), one}, []*big.Rat{rr(3, 1), rr(-1, 1)}); err == nil {
+		t.Error("negative height: expected error")
+	}
+	if _, err := NewPiecewiseDensity([]*big.Rat{new(big.Rat), nil}, []*big.Rat{one}); err == nil {
+		t.Error("nil break: expected error")
+	}
+}
+
+func TestDensityAt(t *testing.T) {
+	d := skewedDensity(t)
+	if d.DensityAt(rr(1, 4)).Cmp(rr(3, 2)) != 0 {
+		t.Error("density on the low piece should be 3/2")
+	}
+	if d.DensityAt(rr(3, 4)).Cmp(rr(1, 2)) != 0 {
+		t.Error("density on the high piece should be 1/2")
+	}
+	if d.DensityAt(rr(-1, 4)).Sign() != 0 {
+		t.Error("density below 0 should be 0")
+	}
+	if d.DensityAt(rr(1, 2)).Cmp(rr(1, 2)) != 0 {
+		t.Error("density at an interior break follows the right piece")
+	}
+}
+
+func TestExactWinProbabilityDistUniformMatchesBase(t *testing.T) {
+	// With the uniform density the weighted evaluation must reproduce
+	// ExactWinProbability exactly.
+	u := UniformDensity()
+	for _, beta := range []*big.Rat{rr(1, 2), rr(5, 8), rr(1, 3)} {
+		s, err := NewRatIntervalSet([]RatInterval{ri(new(big.Rat), beta)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		weighted, err := ExactWinProbabilityDist(3, rr(1, 1), s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := ExactWinProbability(3, rr(1, 1), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if weighted.Cmp(base) != 0 {
+			t.Errorf("β=%v: weighted %v vs base %v", beta, weighted, base)
+		}
+	}
+	// Band rules too.
+	band, err := NewRatIntervalSet([]RatInterval{ri(rr(1, 3), rr(3, 4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := ExactWinProbabilityDist(4, rr(4, 3), band, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ExactWinProbability(4, rr(4, 3), band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Cmp(base) != 0 {
+		t.Errorf("band: weighted %v vs base %v", weighted, base)
+	}
+}
+
+func TestExactWinProbabilityDistSkewedMatchesSimulation(t *testing.T) {
+	d := skewedDensity(t)
+	s, err := NewRatIntervalSet([]RatInterval{ri(new(big.Rat), rr(5, 8))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := ExactWinProbabilityDist(3, rr(1, 1), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, _ := analytic.Float64()
+	// Simulate: sample from the skewed density by inverse transform
+	// (CDF: 3x/2 on [0,1/2] → mass 3/4; then 1/2-density).
+	sample := func(rng *rand.Rand) float64 {
+		u := rng.Float64()
+		if u <= 0.75 {
+			return u * 2 / 3
+		}
+		return 0.5 + (u-0.75)*2
+	}
+	rng := rand.New(rand.NewPCG(314, 159))
+	var prop stats.Proportion
+	const trials = 400000
+	for i := 0; i < trials; i++ {
+		var load0, load1 float64
+		for j := 0; j < 3; j++ {
+			x := sample(rng)
+			if x <= 0.625 {
+				load0 += x
+			} else {
+				load1 += x
+			}
+		}
+		prop.Add(load0 <= 1 && load1 <= 1)
+	}
+	if math.Abs(prop.Estimate()-af) > 4*prop.StdErr() {
+		t.Errorf("analytic %v vs simulated %v ± %v", af, prop.Estimate(), prop.StdErr())
+	}
+}
+
+func TestSkewedInputsShiftTheOptimum(t *testing.T) {
+	// The paper's future-work axis quantified: with small inputs three
+	// times likelier, the optimal threshold moves off the uniform-case
+	// optimum 0.622 and the winning probability landscape changes.
+	d := skewedDensity(t)
+	bestBeta, bestP := -1.0, -1.0
+	uniP := -1.0
+	for num := int64(1); num < 64; num++ {
+		beta := rr(num, 64)
+		s, err := NewRatIntervalSet([]RatInterval{ri(new(big.Rat), beta)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := ExactWinProbabilityDist(3, rr(1, 1), s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, _ := p.Float64()
+		if pf > bestP {
+			bestP = pf
+			bestBeta, _ = beta.Float64()
+		}
+		if num == 40 { // 40/64 = 0.625 ≈ uniform-case optimum
+			uniP = pf
+		}
+	}
+	if math.Abs(bestBeta-0.622) < 0.02 {
+		t.Errorf("skewed optimum β = %v should move away from the uniform optimum 0.622", bestBeta)
+	}
+	if bestP < uniP {
+		t.Errorf("grid best %v should beat the uniform-case threshold's value %v", bestP, uniP)
+	}
+	t.Logf("skewed inputs (3:1 small): optimal β ≈ %.4f with P ≈ %.6f (uniform-case β=0.622 gives %.6f)",
+		bestBeta, bestP, uniP)
+}
+
+func TestExactWinProbabilityDistValidation(t *testing.T) {
+	u := UniformDensity()
+	s, err := NewRatIntervalSet([]RatInterval{ri(new(big.Rat), rr(1, 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExactWinProbabilityDist(1, rr(1, 1), s, u); err == nil {
+		t.Error("n=1: expected error")
+	}
+	if _, err := ExactWinProbabilityDist(11, rr(1, 1), s, u); err == nil {
+		t.Error("n=11: expected error")
+	}
+	if _, err := ExactWinProbabilityDist(3, nil, s, u); err == nil {
+		t.Error("nil capacity: expected error")
+	}
+	if _, err := ExactWinProbabilityDist(3, rr(1, 1), s, PiecewiseDensity{}); err == nil {
+		t.Error("zero-value density: expected error")
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"errors"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+var errInjected = errors.New("injected decision fault")
+
+// failingRule fails on every decision, exercising the engine's error
+// propagation across workers.
+type failingRule struct{}
+
+func (failingRule) Decide(float64, *rand.Rand) (model.Bin, error) {
+	return 0, errInjected
+}
+
+// partiallyFailingRule fails only on inputs above its trigger point,
+// modelling a rare fault that must still surface.
+type partiallyFailingRule struct {
+	trigger float64
+}
+
+func (r partiallyFailingRule) Decide(input float64, _ *rand.Rand) (model.Bin, error) {
+	if input > r.trigger {
+		return 0, errInjected
+	}
+	if input <= 0.5 {
+		return model.Bin0, nil
+	}
+	return model.Bin1, nil
+}
+
+func TestWinProbabilityPropagatesRuleErrors(t *testing.T) {
+	bad := failingRule{}
+	sys, err := model.NewSystem([]model.LocalRule{bad, bad, bad}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = WinProbability(sys, Config{Trials: 1000, Workers: 4, Seed: 1})
+	if err == nil {
+		t.Fatal("expected the injected fault to surface")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Errorf("error chain lost the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "trial failed") {
+		t.Errorf("error lacks simulation context: %v", err)
+	}
+}
+
+func TestLoadStatsPropagatesRuleErrors(t *testing.T) {
+	bad := failingRule{}
+	sys, err := model.NewSystem([]model.LocalRule{bad, bad}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadStats(sys, Config{Trials: 100, Workers: 2, Seed: 1}, func(model.Outcome) float64 { return 0 })
+	if err == nil {
+		t.Fatal("expected the injected fault to surface")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Errorf("error chain lost the cause: %v", err)
+	}
+}
+
+func TestPartialFaultStillFails(t *testing.T) {
+	// Only one player's rule is faulty, and only for inputs above 0.99
+	// (about 1% of decisions): the engine must still detect it rather
+	// than silently skipping trials.
+	good, err := model.NewThresholdRule(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := partiallyFailingRule{trigger: 0.99}
+	sys, err := model.NewSystem([]model.LocalRule{good, good, partial}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = WinProbability(sys, Config{Trials: 5000, Workers: 3, Seed: 2})
+	if err == nil {
+		t.Fatal("expected the rare injected fault to surface within 5000 trials")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Errorf("error chain lost the cause: %v", err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package sim is the Monte-Carlo engine used to validate every analytic
+// result in the reproduction: it estimates winning probabilities of
+// arbitrary decision systems (Theorems 4.1 and 5.1), the omniscient
+// feasibility upper bound, and sample statistics of bin loads, with
+// deterministic seeding and parallel workers.
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// Trials is the total number of rounds to play. Must be positive.
+	Trials int
+	// Workers is the number of parallel workers; 0 selects GOMAXPROCS.
+	// Results are deterministic for a fixed (Seed, Workers) pair: each
+	// worker owns an independent, seeded PCG stream.
+	Workers int
+	// Seed seeds the per-worker random streams.
+	Seed uint64
+}
+
+func (c Config) validate() (Config, error) {
+	if c.Trials <= 0 {
+		return c, fmt.Errorf("sim: trial count %d must be positive", c.Trials)
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("sim: worker count %d must be non-negative", c.Workers)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Trials {
+		c.Workers = c.Trials
+	}
+	return c, nil
+}
+
+// workerRNG derives worker w's independent random stream.
+func (c Config) workerRNG(w int) *rand.Rand {
+	// SplitMix-style stream separation: distinct, well-mixed PCG seeds.
+	s := c.Seed + 0x9e3779b97f4a7c15*uint64(w+1)
+	s ^= s >> 30
+	s *= 0xbf58476d1ce4e5b9
+	return rand.New(rand.NewPCG(s, s^0x94d049bb133111eb))
+}
+
+// Result summarizes a Bernoulli estimate (winning or feasibility
+// probability).
+type Result struct {
+	// P is the estimated probability.
+	P float64
+	// StdErr is the binomial standard error.
+	StdErr float64
+	// CILo and CIHi bound the 95% Wilson confidence interval.
+	CILo, CIHi float64
+	// Wins and Trials are the raw counts.
+	Wins, Trials int64
+}
+
+func resultFrom(p stats.Proportion) (Result, error) {
+	lo, hi, err := p.WilsonCI(1.96)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		P:      p.Estimate(),
+		StdErr: p.StdErr(),
+		CILo:   lo,
+		CIHi:   hi,
+		Wins:   p.Successes(),
+		Trials: p.Trials(),
+	}, nil
+}
+
+// trialFunc plays one round and reports success.
+type trialFunc func(rng *rand.Rand) (bool, error)
+
+// runBernoulli fans trials out over workers and merges the counts.
+func runBernoulli(cfg Config, trial trialFunc) (Result, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return Result{}, err
+	}
+	counters := make([]stats.Proportion, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	base := cfg.Trials / cfg.Workers
+	extra := cfg.Trials % cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		quota := base
+		if w < extra {
+			quota++
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			rng := cfg.workerRNG(w)
+			for i := 0; i < quota; i++ {
+				ok, err := trial(rng)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				counters[w].Add(ok)
+			}
+		}(w, quota)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: trial failed: %w", err)
+		}
+	}
+	var total stats.Proportion
+	for _, c := range counters {
+		total.Merge(c)
+	}
+	return resultFrom(total)
+}
+
+// WinProbability estimates the winning probability P_A(δ) of the system by
+// playing cfg.Trials independent rounds.
+func WinProbability(sys *model.System, cfg Config) (Result, error) {
+	if sys == nil {
+		return Result{}, fmt.Errorf("sim: nil system")
+	}
+	return runBernoulli(cfg, func(rng *rand.Rand) (bool, error) {
+		inputs, err := sys.SampleInputs(rng)
+		if err != nil {
+			return false, err
+		}
+		out, err := sys.Play(inputs, rng)
+		if err != nil {
+			return false, err
+		}
+		return out.Win, nil
+	})
+}
+
+// FeasibilityProbability estimates the probability that SOME assignment of
+// n uniform inputs to the two bins keeps both within capacity — the
+// omniscient full-information benchmark that upper-bounds every distributed
+// algorithm.
+func FeasibilityProbability(n int, capacity float64, cfg Config) (Result, error) {
+	if n < 1 {
+		return Result{}, fmt.Errorf("sim: need at least 1 player, got %d", n)
+	}
+	if n > 30 {
+		return Result{}, fmt.Errorf("sim: feasibility limited to 30 players, got %d", n)
+	}
+	if !(capacity > 0) {
+		return Result{}, fmt.Errorf("sim: capacity %v must be strictly positive", capacity)
+	}
+	return runBernoulli(cfg, func(rng *rand.Rand) (bool, error) {
+		inputs := make([]float64, n)
+		for i := range inputs {
+			inputs[i] = rng.Float64()
+		}
+		return model.FeasibleAssignmentExists(inputs, capacity)
+	})
+}
+
+// LoadStats simulates the system and returns running statistics of the
+// value extracted from each outcome by metric (for example the bin-0 load
+// or the maximum load).
+func LoadStats(sys *model.System, cfg Config, metric func(model.Outcome) float64) (stats.Running, error) {
+	if sys == nil {
+		return stats.Running{}, fmt.Errorf("sim: nil system")
+	}
+	if metric == nil {
+		return stats.Running{}, fmt.Errorf("sim: nil metric")
+	}
+	cfg, err := cfg.validate()
+	if err != nil {
+		return stats.Running{}, err
+	}
+	accs := make([]stats.Running, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	base := cfg.Trials / cfg.Workers
+	extra := cfg.Trials % cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		quota := base
+		if w < extra {
+			quota++
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			rng := cfg.workerRNG(w)
+			for i := 0; i < quota; i++ {
+				inputs, err := sys.SampleInputs(rng)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out, err := sys.Play(inputs, rng)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				accs[w].Add(metric(out))
+			}
+		}(w, quota)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats.Running{}, fmt.Errorf("sim: trial failed: %w", err)
+		}
+	}
+	var total stats.Running
+	for _, a := range accs {
+		total.Merge(a)
+	}
+	return total, nil
+}
+
+// WinProbabilitySweep evaluates WinProbability for each system produced by
+// build over the given parameter values, returning one Result per value.
+// This is the engine behind the figure reproductions (threshold sweeps and
+// coin-probability sweeps).
+func WinProbabilitySweep(values []float64, cfg Config, build func(v float64) (*model.System, error)) ([]Result, error) {
+	if build == nil {
+		return nil, fmt.Errorf("sim: nil system builder")
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("sim: empty sweep")
+	}
+	out := make([]Result, len(values))
+	for i, v := range values {
+		sys, err := build(v)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building system for value %v: %w", v, err)
+		}
+		r, err := WinProbability(sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func thresholdSystem(t *testing.T, n int, beta, capacity float64) *model.System {
+	t.Helper()
+	rule, err := model.NewThresholdRule(beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := model.UniformSystem(n, rule, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestConfigValidation(t *testing.T) {
+	sys := thresholdSystem(t, 3, 0.5, 1)
+	if _, err := WinProbability(sys, Config{Trials: 0}); err == nil {
+		t.Error("zero trials: expected error")
+	}
+	if _, err := WinProbability(sys, Config{Trials: 10, Workers: -1}); err == nil {
+		t.Error("negative workers: expected error")
+	}
+	if _, err := WinProbability(nil, Config{Trials: 10}); err == nil {
+		t.Error("nil system: expected error")
+	}
+	// More workers than trials is fine (clamped).
+	if _, err := WinProbability(sys, Config{Trials: 3, Workers: 16}); err != nil {
+		t.Errorf("workers > trials: unexpected error %v", err)
+	}
+}
+
+func TestWinProbabilityDeterministicForSeed(t *testing.T) {
+	sys := thresholdSystem(t, 3, 0.622, 1)
+	cfg := Config{Trials: 20000, Workers: 4, Seed: 99}
+	a, err := WinProbability(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WinProbability(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Wins != b.Wins || a.P != b.P {
+		t.Errorf("same seed gave different results: %v vs %v", a, b)
+	}
+	c, err := WinProbability(sys, Config{Trials: 20000, Workers: 4, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Wins == c.Wins {
+		t.Error("different seeds gave identical win counts (suspicious)")
+	}
+}
+
+func TestWinProbabilityMatchesPaperN3Optimum(t *testing.T) {
+	// Section 5.2.1: threshold 1-sqrt(1/7) at n=3, δ=1 wins with
+	// probability ≈ 0.54498.
+	beta := 1 - math.Sqrt(1.0/7)
+	sys := thresholdSystem(t, 3, beta, 1)
+	res, err := WinProbability(sys, Config{Trials: 400000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.54498
+	if math.Abs(res.P-want) > 4*res.StdErr+1e-9 {
+		t.Errorf("simulated P = %v ± %v, want ≈ %v", res.P, res.StdErr, want)
+	}
+	if !(res.CILo < want && want < res.CIHi) {
+		t.Errorf("CI [%v, %v] should contain %v", res.CILo, res.CIHi, want)
+	}
+	if res.Trials != 400000 || res.Wins <= 0 {
+		t.Errorf("counts: %d/%d", res.Wins, res.Trials)
+	}
+}
+
+func TestWinProbabilityObliviousHalf(t *testing.T) {
+	// Oblivious α = 1/2 at n=3, δ=1 wins with probability 5/12 ≈ 0.4167
+	// (Theorem 4.3 evaluated directly).
+	rule, err := model.NewObliviousRule(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := model.UniformSystem(3, rule, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WinProbability(sys, Config{Trials: 400000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5.0 / 12
+	if math.Abs(res.P-want) > 4*res.StdErr {
+		t.Errorf("simulated oblivious P = %v ± %v, want 5/12 ≈ %v", res.P, res.StdErr, want)
+	}
+}
+
+func TestFeasibilityProbabilityDominatesThreshold(t *testing.T) {
+	sysRes, err := WinProbability(thresholdSystem(t, 3, 0.622, 1), Config{Trials: 200000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feas, err := FeasibilityProbability(3, 1, Config{Trials: 200000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feas.P < sysRes.P {
+		t.Errorf("omniscient feasibility %v below algorithm %v", feas.P, sysRes.P)
+	}
+	// For n=3, δ=1 the instance is feasible iff some pair of inputs sums
+	// to at most 1, and Vol{x ∈ [0,1]³ : all pairwise sums > 1} = 1/4, so
+	// the exact feasibility probability is 3/4.
+	if math.Abs(feas.P-0.75) > 4*feas.StdErr {
+		t.Errorf("feasibility P = %v ± %v, want exactly 3/4", feas.P, feas.StdErr)
+	}
+}
+
+func TestFeasibilityProbabilityValidation(t *testing.T) {
+	cfg := Config{Trials: 100}
+	if _, err := FeasibilityProbability(0, 1, cfg); err == nil {
+		t.Error("n=0: expected error")
+	}
+	if _, err := FeasibilityProbability(31, 1, cfg); err == nil {
+		t.Error("n=31: expected error")
+	}
+	if _, err := FeasibilityProbability(3, 0, cfg); err == nil {
+		t.Error("zero capacity: expected error")
+	}
+	if _, err := FeasibilityProbability(3, 1, Config{Trials: 0}); err == nil {
+		t.Error("zero trials: expected error")
+	}
+}
+
+func TestLoadStats(t *testing.T) {
+	// With threshold 0.5 and n=4, bin-0 load is the sum of inputs below
+	// 1/2: each contributes with probability 1/2 a U[0, 1/2] value, so the
+	// mean is 4 · (1/2) · (1/4) = 1/2.
+	sys := thresholdSystem(t, 4, 0.5, 10)
+	r, err := LoadStats(sys, Config{Trials: 200000, Seed: 17}, func(o model.Outcome) float64 {
+		return o.Load0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Mean()-0.5) > 0.005 {
+		t.Errorf("mean bin-0 load = %v, want ≈ 0.5", r.Mean())
+	}
+	if r.N() != 200000 {
+		t.Errorf("N = %d", r.N())
+	}
+	if r.Min() < 0 || r.Max() > 2 {
+		t.Errorf("load range [%v, %v] impossible", r.Min(), r.Max())
+	}
+	if _, err := LoadStats(nil, Config{Trials: 10}, func(model.Outcome) float64 { return 0 }); err == nil {
+		t.Error("nil system: expected error")
+	}
+	if _, err := LoadStats(sys, Config{Trials: 10}, nil); err == nil {
+		t.Error("nil metric: expected error")
+	}
+	if _, err := LoadStats(sys, Config{Trials: 0}, func(model.Outcome) float64 { return 0 }); err == nil {
+		t.Error("zero trials: expected error")
+	}
+}
+
+func TestWinProbabilitySweep(t *testing.T) {
+	betas := []float64{0.3, 0.5, 0.622, 0.8}
+	results, err := WinProbabilitySweep(betas, Config{Trials: 50000, Seed: 23}, func(b float64) (*model.System, error) {
+		rule, err := model.NewThresholdRule(b)
+		if err != nil {
+			return nil, err
+		}
+		return model.UniformSystem(3, rule, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(betas) {
+		t.Fatalf("got %d results", len(results))
+	}
+	// The optimum 0.622 should beat the other sampled thresholds.
+	best := 2
+	for i, r := range results {
+		if r.P > results[best].P {
+			best = i
+		}
+	}
+	if best != 2 {
+		t.Errorf("best threshold index = %d (β=%v), want 2 (β=0.622)", best, betas[best])
+	}
+	if _, err := WinProbabilitySweep(nil, Config{Trials: 10}, nil); err == nil {
+		t.Error("nil builder: expected error")
+	}
+	if _, err := WinProbabilitySweep([]float64{}, Config{Trials: 10}, func(float64) (*model.System, error) { return nil, nil }); err == nil {
+		t.Error("empty sweep: expected error")
+	}
+	if _, err := WinProbabilitySweep([]float64{2}, Config{Trials: 10}, func(v float64) (*model.System, error) {
+		_, err := model.NewThresholdRule(v)
+		return nil, err
+	}); err == nil {
+		t.Error("builder error should propagate")
+	}
+}
+
+func TestWorkerCountDoesNotBiasEstimate(t *testing.T) {
+	sys := thresholdSystem(t, 3, 0.622, 1)
+	r1, err := WinProbability(sys, Config{Trials: 100000, Workers: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := WinProbability(sys, Config{Trials: 100000, Workers: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different stream layouts, but both must agree within sampling error.
+	if math.Abs(r1.P-r8.P) > 4*(r1.StdErr+r8.StdErr) {
+		t.Errorf("1-worker %v vs 8-worker %v differ beyond sampling error", r1.P, r8.P)
+	}
+}

@@ -1,0 +1,320 @@
+// Package stats provides the streaming statistics used to validate the
+// paper's exact formulas against Monte-Carlo simulation: Welford running
+// moments, binomial (Wilson) confidence intervals for win probabilities,
+// empirical CDFs, and the Kolmogorov-Smirnov distance between an empirical
+// sample and an analytic CDF.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates a stream of observations with Welford's numerically
+// stable online algorithm. The zero value is ready for use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// Merge folds another accumulator into r (parallel reduction), using the
+// Chan et al. pairwise update.
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	delta := o.mean - r.mean
+	r.m2 += o.m2 + delta*delta*float64(r.n)*float64(o.n)/float64(n)
+	r.mean += delta * float64(o.n) / float64(n)
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+	r.n = n
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean (0 when empty).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// StdErr returns the standard error of the mean (0 when empty).
+func (r *Running) StdErr() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// Min returns the minimum observation (0 when empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the maximum observation (0 when empty).
+func (r *Running) Max() float64 { return r.max }
+
+// Proportion is a Bernoulli success counter with confidence intervals.
+// The zero value is ready for use.
+type Proportion struct {
+	successes int64
+	trials    int64
+}
+
+// Add records one trial.
+func (p *Proportion) Add(success bool) {
+	p.trials++
+	if success {
+		p.successes++
+	}
+}
+
+// AddN records a batch of trials.
+func (p *Proportion) AddN(successes, trials int64) error {
+	if trials < 0 || successes < 0 || successes > trials {
+		return fmt.Errorf("stats: invalid batch %d/%d", successes, trials)
+	}
+	p.successes += successes
+	p.trials += trials
+	return nil
+}
+
+// Merge folds another counter into p.
+func (p *Proportion) Merge(o Proportion) {
+	p.successes += o.successes
+	p.trials += o.trials
+}
+
+// Trials returns the number of trials.
+func (p *Proportion) Trials() int64 { return p.trials }
+
+// Successes returns the number of successes.
+func (p *Proportion) Successes() int64 { return p.successes }
+
+// Estimate returns the success fraction (0 when empty).
+func (p *Proportion) Estimate() float64 {
+	if p.trials == 0 {
+		return 0
+	}
+	return float64(p.successes) / float64(p.trials)
+}
+
+// StdErr returns the binomial standard error of the estimate.
+func (p *Proportion) StdErr() float64 {
+	if p.trials == 0 {
+		return 0
+	}
+	e := p.Estimate()
+	return math.Sqrt(e * (1 - e) / float64(p.trials))
+}
+
+// WilsonCI returns the Wilson score confidence interval at the given
+// normal quantile z (1.96 for 95%). It returns an error for non-positive z
+// or an empty counter.
+func (p *Proportion) WilsonCI(z float64) (lo, hi float64, err error) {
+	if z <= 0 || math.IsNaN(z) {
+		return 0, 0, fmt.Errorf("stats: non-positive z quantile %v", z)
+	}
+	if p.trials == 0 {
+		return 0, 0, fmt.Errorf("stats: Wilson interval of empty counter")
+	}
+	n := float64(p.trials)
+	phat := p.Estimate()
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (phat + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts the sample. It returns an error on an empty or
+// NaN-containing sample.
+func NewECDF(sample []float64) (*ECDF, error) {
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("stats: empty sample for ECDF")
+	}
+	cp := make([]float64, len(sample))
+	copy(cp, sample)
+	for i, v := range cp {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("stats: NaN at sample index %d", i)
+		}
+	}
+	sort.Float64s(cp)
+	return &ECDF{sorted: cp}, nil
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns the fraction of sample points ≤ x.
+func (e *ECDF) At(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x;
+	// scan forward over ties to include all points equal to x.
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// KSDistance returns the Kolmogorov-Smirnov statistic
+// sup_x |ECDF(x) - cdf(x)| against an analytic CDF, evaluated at the
+// sample points (both one-sided gaps). It returns an error if cdf is nil.
+func (e *ECDF) KSDistance(cdf func(float64) float64) (float64, error) {
+	if cdf == nil {
+		return 0, fmt.Errorf("stats: nil CDF for KS distance")
+	}
+	n := float64(len(e.sorted))
+	var d float64
+	for i, x := range e.sorted {
+		f := cdf(x)
+		upper := float64(i+1)/n - f
+		lower := f - float64(i)/n
+		if upper > d {
+			d = upper
+		}
+		if lower > d {
+			d = lower
+		}
+	}
+	return d, nil
+}
+
+// KSCriticalValue returns the asymptotic Kolmogorov-Smirnov critical value
+// c(α)/√n for the common significance levels α ∈ {0.10, 0.05, 0.01}.
+// It returns an error for other levels or non-positive n.
+func KSCriticalValue(n int, alpha float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("stats: non-positive sample size %d", n)
+	}
+	var c float64
+	switch alpha {
+	case 0.10:
+		c = 1.224
+	case 0.05:
+		c = 1.358
+	case 0.01:
+		c = 1.628
+	default:
+		return 0, fmt.Errorf("stats: unsupported KS significance level %v", alpha)
+	}
+	return c / math.Sqrt(float64(n)), nil
+}
+
+// Histogram bins a sample into equal-width buckets over [lo, hi].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	Under  int64
+	Over   int64
+}
+
+// NewHistogram builds a histogram with the given number of buckets.
+// It returns an error for invalid bounds or bucket counts.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: invalid histogram range [%v, %v]", lo, hi)
+	}
+	if buckets <= 0 {
+		return nil, fmt.Errorf("stats: bucket count %d must be positive", buckets)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, buckets)}, nil
+}
+
+// Add records one observation, counting out-of-range values in Under/Over.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		if x == h.Hi {
+			h.Counts[len(h.Counts)-1]++
+			return
+		}
+		h.Over++
+	default:
+		idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if idx >= len(h.Counts) {
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Total returns the number of in-range observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Density returns the normalized density of bucket i (observations per
+// unit x). It returns an error for an out-of-range bucket or empty
+// histogram.
+func (h *Histogram) Density(i int) (float64, error) {
+	if i < 0 || i >= len(h.Counts) {
+		return 0, fmt.Errorf("stats: bucket %d out of range [0, %d)", i, len(h.Counts))
+	}
+	total := h.Total()
+	if total == 0 {
+		return 0, fmt.Errorf("stats: density of empty histogram")
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[i]) / (float64(total) * width), nil
+}

@@ -1,0 +1,350 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Variance() != 0 || r.StdErr() != 0 {
+		t.Error("zero-value accumulator invariants violated")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d, want 8", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic dataset is 4; sample variance
+	// is 32/7.
+	if math.Abs(r.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %v, want %v", r.Variance(), 32.0/7)
+	}
+	if math.Abs(r.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("stddev = %v", r.StdDev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", r.Min(), r.Max())
+	}
+	if math.Abs(r.StdErr()-r.StdDev()/math.Sqrt(8)) > 1e-15 {
+		t.Errorf("stderr = %v", r.StdErr())
+	}
+}
+
+func TestRunningSingleObservation(t *testing.T) {
+	var r Running
+	r.Add(3.5)
+	if r.Variance() != 0 || r.Min() != 3.5 || r.Max() != 3.5 || r.Mean() != 3.5 {
+		t.Error("single observation invariants violated")
+	}
+}
+
+func TestRunningMergeMatchesSequentialProperty(t *testing.T) {
+	f := func(seedA, seedB uint64, nA, nB uint8) bool {
+		rngA := rand.New(rand.NewPCG(seedA, 1))
+		rngB := rand.New(rand.NewPCG(seedB, 2))
+		var a, b, all Running
+		for i := 0; i < int(nA); i++ {
+			x := rngA.NormFloat64()
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < int(nB); i++ {
+			x := rngB.NormFloat64()
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != all.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		tol := 1e-9 * (1 + math.Abs(all.Mean()))
+		if math.Abs(a.Mean()-all.Mean()) > tol {
+			return false
+		}
+		return math.Abs(a.Variance()-all.Variance()) <= 1e-9*(1+all.Variance())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMergeEmptyCases(t *testing.T) {
+	var a, b Running
+	a.Merge(b) // both empty
+	if a.N() != 0 {
+		t.Error("merging empties should stay empty")
+	}
+	b.Add(2)
+	a.Merge(b) // empty receiver
+	if a.N() != 1 || a.Mean() != 2 {
+		t.Error("merge into empty should copy")
+	}
+	var c Running
+	a.Merge(c) // empty argument
+	if a.N() != 1 || a.Mean() != 2 {
+		t.Error("merging an empty argument should be a no-op")
+	}
+}
+
+func TestProportionBasics(t *testing.T) {
+	var p Proportion
+	if p.Estimate() != 0 || p.StdErr() != 0 {
+		t.Error("empty proportion invariants violated")
+	}
+	for i := 0; i < 10; i++ {
+		p.Add(i < 3)
+	}
+	if p.Trials() != 10 || p.Successes() != 3 {
+		t.Errorf("trials/successes = %d/%d", p.Trials(), p.Successes())
+	}
+	if math.Abs(p.Estimate()-0.3) > 1e-15 {
+		t.Errorf("estimate = %v", p.Estimate())
+	}
+	want := math.Sqrt(0.3 * 0.7 / 10)
+	if math.Abs(p.StdErr()-want) > 1e-15 {
+		t.Errorf("stderr = %v, want %v", p.StdErr(), want)
+	}
+}
+
+func TestProportionAddNAndMerge(t *testing.T) {
+	var p Proportion
+	if err := p.AddN(5, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddN(11, 10); err == nil {
+		t.Error("successes > trials: expected error")
+	}
+	if err := p.AddN(-1, 10); err == nil {
+		t.Error("negative successes: expected error")
+	}
+	if err := p.AddN(0, -1); err == nil {
+		t.Error("negative trials: expected error")
+	}
+	var q Proportion
+	if err := q.AddN(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	p.Merge(q)
+	if p.Trials() != 20 || p.Successes() != 8 {
+		t.Errorf("after merge: %d/%d", p.Successes(), p.Trials())
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	var p Proportion
+	if _, _, err := p.WilsonCI(1.96); err == nil {
+		t.Error("empty counter: expected error")
+	}
+	if err := p.AddN(50, 100); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := p.WilsonCI(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Errorf("CI [%v, %v] should contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("CI [%v, %v] too wide for n=100", lo, hi)
+	}
+	if _, _, err := p.WilsonCI(0); err == nil {
+		t.Error("z=0: expected error")
+	}
+	if _, _, err := p.WilsonCI(math.NaN()); err == nil {
+		t.Error("z=NaN: expected error")
+	}
+	// Extreme proportions stay clamped in [0, 1].
+	var ones Proportion
+	if err := ones.AddN(10, 10); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err = ones.WilsonCI(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("CI [%v, %v] escaped [0, 1]", lo, hi)
+	}
+}
+
+func TestWilsonCICoverageProperty(t *testing.T) {
+	// With the true p = 0.545 (the paper's optimal winning probability for
+	// n=3), the 95% Wilson interval should cover p in the vast majority of
+	// simulated experiments.
+	const trueP = 0.545
+	rng := rand.New(rand.NewPCG(7, 9))
+	covered := 0
+	const experiments = 300
+	for e := 0; e < experiments; e++ {
+		var p Proportion
+		for i := 0; i < 400; i++ {
+			p.Add(rng.Float64() < trueP)
+		}
+		lo, hi, err := p.WilsonCI(1.96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo <= trueP && trueP <= hi {
+			covered++
+		}
+	}
+	if covered < 270 { // 90% of experiments; nominal is 95%
+		t.Errorf("Wilson CI covered true p in only %d/%d experiments", covered, experiments)
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	if _, err := NewECDF(nil); err == nil {
+		t.Error("empty sample: expected error")
+	}
+	if _, err := NewECDF([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN sample: expected error")
+	}
+	e, err := NewECDF([]float64{3, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d", e.N())
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{1.5, 0.25},
+		{2, 0.75}, // ties included
+		{3, 1},
+		{9, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("ECDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	e, err := NewECDF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0] = -100
+	if e.At(0) != 0 {
+		t.Error("ECDF aliased its input sample")
+	}
+}
+
+func TestKSDistanceUniformSample(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 200))
+	sample := make([]float64, 20000)
+	for i := range sample {
+		sample[i] = rng.Float64()
+	}
+	e, err := NewECDF(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.KSDistance(func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := KSCriticalValue(len(sample), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > crit {
+		t.Errorf("KS distance %v exceeds 1%% critical value %v for a true uniform sample", d, crit)
+	}
+	// A wrong CDF must be detected.
+	dWrong, err := e.KSDistance(func(x float64) float64 { return x * x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dWrong < crit {
+		t.Errorf("KS distance %v against wrong CDF should exceed %v", dWrong, crit)
+	}
+	if _, err := e.KSDistance(nil); err == nil {
+		t.Error("nil CDF: expected error")
+	}
+}
+
+func TestKSCriticalValueValidation(t *testing.T) {
+	if _, err := KSCriticalValue(0, 0.05); err == nil {
+		t.Error("n=0: expected error")
+	}
+	if _, err := KSCriticalValue(100, 0.5); err == nil {
+		t.Error("unsupported alpha: expected error")
+	}
+	for _, alpha := range []float64{0.10, 0.05, 0.01} {
+		v, err := KSCriticalValue(100, alpha)
+		if err != nil || v <= 0 {
+			t.Errorf("alpha=%v: %v, %v", alpha, v, err)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := NewHistogram(1, 1, 10); err == nil {
+		t.Error("empty range: expected error")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero buckets: expected error")
+	}
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-0.5, 0, 0.1, 0.3, 0.6, 0.99, 1.0, 1.5} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Errorf("under/over = %d/%d, want 1/1", h.Under, h.Over)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d, want 6", h.Total())
+	}
+	// x == hi lands in the last bucket.
+	if h.Counts[3] != 2 { // 0.99 and 1.0
+		t.Errorf("last bucket = %d, want 2", h.Counts[3])
+	}
+	d, err := h.Density(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket 0 holds {0, 0.1}: 2 of 6 in a width-0.25 bucket.
+	if math.Abs(d-2.0/6/0.25) > 1e-12 {
+		t.Errorf("density = %v", d)
+	}
+	if _, err := h.Density(9); err == nil {
+		t.Error("out-of-range bucket: expected error")
+	}
+	empty, err := NewHistogram(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.Density(0); err == nil {
+		t.Error("empty histogram density: expected error")
+	}
+}
