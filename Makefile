@@ -1,0 +1,24 @@
+# Canonical developer entry points. `make ci` is the tier-1 gate recorded
+# in ROADMAP.md; the race target covers the concurrency-heavy packages
+# (the Monte-Carlo engine and the metrics/span layer it feeds).
+
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/... ./internal/obs/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+ci: build vet test race

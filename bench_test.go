@@ -8,15 +8,19 @@ package repro
 // headline values.
 
 import (
+	"io"
 	"math/big"
+	"math/rand/v2"
 	"testing"
 
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/harness"
+	"repro/internal/model"
 	"repro/internal/nonoblivious"
 	"repro/internal/oblivious"
+	"repro/internal/obs"
 	"repro/internal/response"
 	"repro/internal/sim"
 )
@@ -301,6 +305,96 @@ func BenchmarkOneBitBroadcast(b *testing.B) {
 	p := comm.OneBitBroadcast{N: 5, Cut: 0.55, SenderTheta: 0.55, BetaLow: 0.55, BetaHigh: 1}
 	for i := 0; i < b.N; i++ {
 		if _, err := p.WinProbability(5.0 / 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- observability overhead ----
+
+// The three benchmarks below isolate what the telemetry layer costs the
+// simulate hot loop. Baseline hand-rolls the pre-instrumentation loop
+// (sample, play, count — no obs branch anywhere); Instrumented runs the
+// production sim.WinProbability with a nil observer, which must stay
+// within 2% of Baseline because the engine branches once per run, not per
+// trial; Observed turns the full telemetry on (spans, counters,
+// convergence checkpoints into a discarded sink) to document the cost of
+// opting in. All three use one worker and identical PCG streams so ns/op
+// is comparable.
+
+const obsBenchTrials = 100_000
+
+// obsBenchWins defeats dead-code elimination of the baseline loop.
+var obsBenchWins int64
+
+// obsBenchSystem builds the n=3, δ=1 symmetric-threshold system at the
+// paper's optimum, the same workload as BenchmarkSimulation.
+func obsBenchSystem(b *testing.B) *model.System {
+	b.Helper()
+	rule, err := model.NewThresholdRule(0.622)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := model.UniformSystem(3, rule, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkWinProbabilityBaseline replicates the engine's single-worker
+// hot loop with no observability code in scope at all.
+func BenchmarkWinProbabilityBaseline(b *testing.B) {
+	sys := obsBenchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Same SplitMix stream separation as Config.workerSource(0).
+		s := uint64(i+1) + 0x9e3779b97f4a7c15
+		s ^= s >> 30
+		s *= 0xbf58476d1ce4e5b9
+		rng := rand.New(rand.NewPCG(s, s^0x94d049bb133111eb))
+		var wins int64
+		for t := 0; t < obsBenchTrials; t++ {
+			inputs, err := sys.SampleInputs(rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := sys.Play(inputs, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Win {
+				wins++
+			}
+		}
+		obsBenchWins = wins
+	}
+}
+
+// BenchmarkWinProbabilityInstrumented runs the production engine with a
+// nil observer — the default for every caller that does not pass -obs.
+// Compare against BenchmarkWinProbabilityBaseline: the contract is that
+// the no-op overhead stays under 2%.
+func BenchmarkWinProbabilityInstrumented(b *testing.B) {
+	sys := obsBenchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{Trials: obsBenchTrials, Workers: 1, Seed: uint64(i + 1)}
+		if _, err := sim.WinProbability(sys, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWinProbabilityObserved times the same run with telemetry fully
+// on (registry + JSONL sink into io.Discard), documenting what -obs costs.
+func BenchmarkWinProbabilityObserved(b *testing.B) {
+	sys := obsBenchSystem(b)
+	o := obs.New(obs.NewRegistry(), obs.NewSink(io.Discard))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{Trials: obsBenchTrials, Workers: 1, Seed: uint64(i + 1), Obs: o}
+		if _, err := sim.WinProbability(sys, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

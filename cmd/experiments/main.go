@@ -1,7 +1,10 @@
 // Command experiments regenerates every table and figure of the
 // reproduction in one run, writing text, CSV and SVG artifacts into an
 // output directory (default ./results). This is the one-button path behind
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. With -obs it also writes a JSONL observability run log
+// (one root span per experiment, simulation convergence traces, final
+// metric snapshot) that `nocomm metrics` can replay, and -metrics prints a
+// per-experiment wall-time snapshot on exit.
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -22,17 +26,40 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	outDir := fs.String("out", "results", "output directory")
 	trials := fs.Int("trials", 400_000, "Monte-Carlo trials for simulated columns")
 	points := fs.Int("points", 201, "sweep points per figure curve")
 	seed := fs.Uint64("seed", 1, "random seed")
+	obsPath := fs.String("obs", "", "append a JSONL observability run log to this file")
+	metrics := fs.Bool("metrics", false, "print a JSON metrics snapshot on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return fmt.Errorf("creating output directory: %w", err)
+	}
+	var o *obs.Observer
+	if *obsPath != "" || *metrics {
+		var sink *obs.Sink
+		if *obsPath != "" {
+			f, ferr := os.OpenFile(*obsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if ferr != nil {
+				return fmt.Errorf("opening -obs log: %w", ferr)
+			}
+			defer func() {
+				o.EmitSnapshot()
+				if serr := sink.Err(); serr != nil && err == nil {
+					err = serr
+				}
+				if cerr := f.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}()
+			sink = obs.NewSink(f)
+		}
+		o = obs.New(obs.NewRegistry(), sink)
 	}
 	cfg := sim.Config{Trials: *trials, Seed: *seed}
 	var summary strings.Builder
@@ -42,12 +69,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("=== %s: %s ===\n", exp.ID, exp.Title)
-		switch exp.Kind {
-		case harness.KindFigure:
-			fig, err := exp.RunFigure(*points)
-			if err != nil {
-				return fmt.Errorf("%s: %w", id, err)
-			}
+		out, err := exp.Run(o, *points, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		base := strings.ToLower(id)
+		switch {
+		case out.Figure != nil:
+			fig := out.Figure
 			ascii, err := fig.ASCII(0, 0)
 			if err != nil {
 				return fmt.Errorf("%s: %w", id, err)
@@ -58,7 +87,6 @@ func run(args []string) error {
 			if err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
-			base := strings.ToLower(id)
 			if err := os.WriteFile(filepath.Join(*outDir, base+".svg"), []byte(svg), 0o644); err != nil {
 				return err
 			}
@@ -74,18 +102,14 @@ func run(args []string) error {
 			if cerr != nil {
 				return cerr
 			}
-		case harness.KindTable:
-			tab, err := exp.RunTable(cfg)
-			if err != nil {
-				return fmt.Errorf("%s: %w", id, err)
-			}
+		case out.Table != nil:
+			tab := out.Table
 			text, err := tab.Render()
 			if err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
 			fmt.Println(text)
 			summary.WriteString(text + "\n")
-			base := strings.ToLower(id)
 			if err := os.WriteFile(filepath.Join(*outDir, base+".txt"), []byte(text), 0o644); err != nil {
 				return err
 			}
@@ -114,5 +138,10 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Println("all artifacts written to", *outDir)
+	if *metrics {
+		if err := o.Metrics.Snapshot().WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }

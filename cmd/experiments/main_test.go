@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func TestRunWritesAllArtifacts(t *testing.T) {
@@ -12,7 +15,8 @@ func TestRunWritesAllArtifacts(t *testing.T) {
 		t.Skip("full experiment regeneration is slow")
 	}
 	dir := t.TempDir()
-	if err := run([]string{"-out", dir, "-trials", "20000", "-points", "21"}); err != nil {
+	obsLog := filepath.Join(dir, "run.jsonl")
+	if err := run([]string{"-out", dir, "-trials", "20000", "-points", "21", "-obs", obsLog}); err != nil {
 		t.Fatal(err)
 	}
 	wantFiles := []string{
@@ -43,6 +47,36 @@ func TestRunWritesAllArtifacts(t *testing.T) {
 		if !strings.Contains(string(summary), want) {
 			t.Errorf("summary missing %q", want)
 		}
+	}
+
+	// The observability log must hold one root span per experiment plus a
+	// final metrics snapshot.
+	f, err := os.Open(obsLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := map[string]int{}
+	sawSnapshot := false
+	for _, ev := range events {
+		if ev.Type == obs.EventSpanStart && ev.Parent == 0 && strings.HasPrefix(ev.Name, "experiment.") {
+			roots[ev.Name]++
+		}
+		if ev.Type == obs.EventSnapshot {
+			sawSnapshot = true
+		}
+	}
+	for _, id := range harness.IDs() {
+		if roots["experiment."+id] != 1 {
+			t.Errorf("experiment %s has %d root spans, want 1", id, roots["experiment."+id])
+		}
+	}
+	if !sawSnapshot {
+		t.Error("run log lacks the final metrics snapshot")
 	}
 }
 

@@ -1,30 +1,51 @@
 // Command nocomm is the command-line front end of the reproduction: it
 // evaluates exact winning probabilities, derives certified optima, runs
-// Monte-Carlo simulations, and regenerates every table and figure from the
-// paper's evaluation.
+// Monte-Carlo simulations, regenerates every table and figure from the
+// paper's evaluation, and replays observability run logs.
 //
 // Usage:
 //
 //	nocomm eval     -n 3 -delta 1 -kind threshold -param 0.622
 //	nocomm optimize -n 3 -delta 1 -kind threshold
 //	nocomm simulate -n 3 -delta 1 -kind oblivious -param 0.5 -trials 1000000
+//	nocomm certify  -n 3 -delta 1
 //	nocomm figure   F1 [-points 201] [-svg f1.svg] [-csv f1.csv]
 //	nocomm table    T2 [-trials 200000] [-csv t2.csv]
+//	nocomm metrics  run.jsonl
 //	nocomm list
+//
+// Every workload subcommand also accepts the global observability flags
+// (before or after the subcommand name):
+//
+//	-obs run.jsonl     append a structured JSONL event log (spans,
+//	                   convergence checkpoints, errors, final snapshot)
+//	-metrics           print a metrics snapshot on exit
+//	-metrics-format f  snapshot format: json (default) or prom
+//	-cpuprofile f      write a runtime/pprof CPU profile
+//	-memprofile f      write a runtime/pprof heap profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/nonoblivious"
 	"repro/internal/oblivious"
+	"repro/internal/obs"
+	"repro/internal/optimize"
 	"repro/internal/sim"
 )
+
+// subcommandList names every subcommand; keep the usage error, the help
+// output, and the dispatch switch in sync.
+const subcommandList = "eval, optimize, simulate, certify, figure, table, metrics, list"
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -34,29 +55,155 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (eval, optimize, simulate, figure, table, list)")
+	g := &obsFlags{}
+	top := flag.NewFlagSet("nocomm", flag.ContinueOnError)
+	g.register(top)
+	if err := top.Parse(args); err != nil {
+		return err
 	}
-	switch args[0] {
+	rest := top.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing subcommand (%s)", subcommandList)
+	}
+	switch rest[0] {
 	case "eval":
-		return cmdEval(args[1:])
+		return cmdEval(g, rest[1:])
 	case "optimize":
-		return cmdOptimize(args[1:])
+		return cmdOptimize(g, rest[1:])
 	case "simulate":
-		return cmdSimulate(args[1:])
+		return cmdSimulate(g, rest[1:])
 	case "figure":
-		return cmdFigure(args[1:])
+		return cmdFigure(g, rest[1:])
 	case "table":
-		return cmdTable(args[1:])
+		return cmdTable(g, rest[1:])
 	case "certify":
-		return cmdCertify(args[1:])
+		return cmdCertify(g, rest[1:])
+	case "metrics":
+		return cmdMetrics(rest[1:])
 	case "list":
 		return cmdList()
 	case "-h", "--help", "help":
-		fmt.Println("subcommands: eval, optimize, simulate, certify, figure, table, list")
+		fmt.Println("subcommands:", subcommandList)
+		fmt.Println("global flags: -obs <file.jsonl>, -metrics, -metrics-format json|prom, -cpuprofile <file>, -memprofile <file>")
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q", args[0])
+		return fmt.Errorf("unknown subcommand %q (known: %s)", rest[0], subcommandList)
+	}
+}
+
+// obsFlags holds the global observability flags. They are registered on
+// the top-level flag set and on every workload subcommand's flag set (both
+// write the same fields), so `nocomm -obs run.jsonl simulate ...` and
+// `nocomm simulate ... -obs run.jsonl` both work.
+type obsFlags struct {
+	obsPath    string
+	metrics    bool
+	metricsFmt string
+	cpuProfile string
+	memProfile string
+}
+
+func (g *obsFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&g.obsPath, "obs", g.obsPath, "append a JSONL observability run log to this file")
+	fs.BoolVar(&g.metrics, "metrics", g.metrics, "print a metrics snapshot on exit")
+	fs.StringVar(&g.metricsFmt, "metrics-format", cmpOr(g.metricsFmt, "json"), "metrics snapshot format: json or prom")
+	fs.StringVar(&g.cpuProfile, "cpuprofile", g.cpuProfile, "write a CPU profile to this file")
+	fs.StringVar(&g.memProfile, "memprofile", g.memProfile, "write a heap profile to this file")
+}
+
+func cmpOr(s, def string) string {
+	if s != "" {
+		return s
+	}
+	return def
+}
+
+// obsSession is one activated observability context: observer, open files,
+// profiles. finish flushes everything and prints the snapshot.
+type obsSession struct {
+	g        *obsFlags
+	observer *obs.Observer
+	start    time.Time
+	obsFile  *os.File
+	cpuFile  *os.File
+}
+
+// start validates the flags and opens the requested instrumentation. It
+// returns a session whose finish method must run after the workload.
+func (g *obsFlags) start() (*obsSession, error) {
+	s := &obsSession{g: g, start: time.Now()}
+	switch g.metricsFmt {
+	case "json", "prom":
+	default:
+		return nil, fmt.Errorf("unknown -metrics-format %q (want json or prom)", g.metricsFmt)
+	}
+	var sink *obs.Sink
+	if g.obsPath != "" {
+		f, err := os.OpenFile(g.obsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("opening -obs log: %w", err)
+		}
+		s.obsFile = f
+		sink = obs.NewSink(f)
+	}
+	if g.obsPath != "" || g.metrics {
+		s.observer = obs.New(obs.NewRegistry(), sink)
+	}
+	if g.cpuProfile != "" {
+		f, err := os.Create(g.cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("creating -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// finish records the wall time, stops the profiles, appends the final
+// snapshot to the run log, and prints the snapshot when -metrics is set.
+// It reports its own failures through errp only if the workload succeeded.
+func (s *obsSession) finish(errp *error) {
+	fail := func(err error) {
+		if err != nil && *errp == nil {
+			*errp = err
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		fail(s.cpuFile.Close())
+	}
+	if s.g.memProfile != "" {
+		f, err := os.Create(s.g.memProfile)
+		if err != nil {
+			fail(fmt.Errorf("creating -memprofile: %w", err))
+		} else {
+			runtime.GC()
+			fail(pprof.WriteHeapProfile(f))
+			fail(f.Close())
+		}
+	}
+	if s.observer == nil {
+		return
+	}
+	s.observer.Gauge("run.wall_seconds").Set(time.Since(s.start).Seconds())
+	s.observer.EmitSnapshot()
+	if s.obsFile != nil {
+		fail(s.observer.Events.Err())
+		fail(s.obsFile.Close())
+	}
+	if s.g.metrics {
+		snap := s.observer.Metrics.Snapshot()
+		var err error
+		if s.g.metricsFmt == "prom" {
+			err = snap.WritePrometheus(os.Stdout)
+		} else {
+			err = snap.WriteJSON(os.Stdout)
+		}
+		fail(err)
 	}
 }
 
@@ -66,18 +213,25 @@ func instanceFlags(fs *flag.FlagSet) (n *int, delta *float64) {
 	return n, delta
 }
 
-func cmdEval(args []string) error {
+func cmdEval(g *obsFlags, args []string) (err error) {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	g.register(fs)
 	n, delta := instanceFlags(fs)
 	kind := fs.String("kind", "threshold", "algorithm kind: threshold or oblivious")
 	param := fs.Float64("param", 0.5, "common threshold β (threshold) or bin-0 probability a (oblivious)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := g.start()
+	if err != nil {
+		return err
+	}
+	defer sess.finish(&err)
 	inst, err := core.NewInstance(*n, *delta)
 	if err != nil {
 		return err
 	}
+	sp := sess.observer.StartSpan("eval")
 	var p float64
 	switch *kind {
 	case "threshold":
@@ -85,8 +239,9 @@ func cmdEval(args []string) error {
 	case "oblivious":
 		p, err = inst.SymmetricObliviousWinProbability(*param)
 	default:
-		return fmt.Errorf("unknown kind %q", *kind)
+		err = fmt.Errorf("unknown kind %q", *kind)
 	}
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -94,17 +249,26 @@ func cmdEval(args []string) error {
 	return nil
 }
 
-func cmdOptimize(args []string) error {
+func cmdOptimize(g *obsFlags, args []string) (err error) {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	g.register(fs)
 	n, delta := instanceFlags(fs)
 	kind := fs.String("kind", "threshold", "algorithm kind: threshold or oblivious")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := g.start()
+	if err != nil {
+		return err
+	}
+	defer sess.finish(&err)
+	o := sess.observer
 	inst, err := core.NewInstance(*n, *delta)
 	if err != nil {
 		return err
 	}
+	sp := o.StartSpan("optimize")
+	defer sp.End()
 	switch *kind {
 	case "threshold":
 		res, err := inst.OptimalThreshold()
@@ -124,6 +288,22 @@ func cmdOptimize(args []string) error {
 			}
 			fmt.Printf("    [%s, %s]: %s\n", iv.Lo.RatString(), iv.Hi.RatString(), piece)
 		}
+		if o.Enabled() {
+			// Numeric cross-check of the symbolic optimum, recorded in
+			// the run log (iterations, bracket widths, evaluations).
+			num, err := optimize.GridThenGoldenMaxObserved(o, func(beta float64) float64 {
+				p, err := inst.SymmetricThresholdWinProbability(beta)
+				if err != nil {
+					return 0
+				}
+				return p
+			}, 0, 1, 101, 1e-10)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  numeric cross-check: β ≈ %.9f, P ≈ %.9f (%d evals, %d iterations)\n",
+				num.X, num.Value, num.Evals, num.Iterations)
+		}
 	case "oblivious":
 		res, err := inst.OptimalOblivious()
 		if err != nil {
@@ -137,28 +317,52 @@ func cmdOptimize(args []string) error {
 			*n, *delta, res.WinProbability)
 		fmt.Printf("  deterministic vertex optimum: %d players to bin 1, P = %.9f\n",
 			det.Bin1Count, det.WinProbability)
+		if o.Enabled() {
+			num, err := optimize.GridThenGoldenMaxObserved(o, func(a float64) float64 {
+				p, err := inst.SymmetricObliviousWinProbability(a)
+				if err != nil {
+					return 0
+				}
+				return p
+			}, 0, 1, 101, 1e-10)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  numeric cross-check: a ≈ %.9f, P ≈ %.9f (%d evals, %d iterations)\n",
+				num.X, num.Value, num.Evals, num.Iterations)
+		}
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
 	return nil
 }
 
-func cmdSimulate(args []string) error {
+func cmdSimulate(g *obsFlags, args []string) (err error) {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	g.register(fs)
 	n, delta := instanceFlags(fs)
 	kind := fs.String("kind", "threshold", "algorithm kind: threshold, oblivious, or feasibility")
 	param := fs.Float64("param", 0.5, "algorithm parameter")
 	trials := fs.Int("trials", 1_000_000, "number of Monte-Carlo trials")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "convergence checkpoint interval in trials (0 = trials/20; needs -obs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := g.start()
+	if err != nil {
+		return err
+	}
+	defer sess.finish(&err)
 	inst, err := core.NewInstance(*n, *delta)
 	if err != nil {
 		return err
 	}
-	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers}
+	cfg := sim.Config{
+		Trials: *trials, Seed: *seed, Workers: *workers,
+		Obs: sess.observer, CheckpointEvery: *checkpointEvery,
+	}
 	var res sim.Result
 	switch *kind {
 	case "threshold":
@@ -178,18 +382,24 @@ func cmdSimulate(args []string) error {
 	return nil
 }
 
-func cmdFigure(args []string) error {
+func cmdFigure(g *obsFlags, args []string) (err error) {
 	if len(args) == 0 {
 		return fmt.Errorf("figure needs an id (F1 or F2)")
 	}
 	id := strings.ToUpper(args[0])
 	fs := flag.NewFlagSet("figure", flag.ContinueOnError)
+	g.register(fs)
 	points := fs.Int("points", 201, "sweep points per curve")
 	svgPath := fs.String("svg", "", "write SVG to this path")
 	csvPath := fs.String("csv", "", "write CSV to this path")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	sess, err := g.start()
+	if err != nil {
+		return err
+	}
+	defer sess.finish(&err)
 	exp, err := harness.Lookup(id)
 	if err != nil {
 		return err
@@ -197,10 +407,11 @@ func cmdFigure(args []string) error {
 	if exp.Kind != harness.KindFigure {
 		return fmt.Errorf("%s is not a figure", id)
 	}
-	fig, err := exp.RunFigure(*points)
+	out, err := exp.Run(sess.observer, *points, sim.Config{Trials: 1, Seed: 1})
 	if err != nil {
 		return err
 	}
+	fig := *out.Figure
 	ascii, err := fig.ASCII(0, 0)
 	if err != nil {
 		return err
@@ -230,18 +441,24 @@ func cmdFigure(args []string) error {
 	return nil
 }
 
-func cmdTable(args []string) error {
+func cmdTable(g *obsFlags, args []string) (err error) {
 	if len(args) == 0 {
 		return fmt.Errorf("table needs an id (T1, T2, T3, T4, V1)")
 	}
 	id := strings.ToUpper(args[0])
 	fs := flag.NewFlagSet("table", flag.ContinueOnError)
+	g.register(fs)
 	trials := fs.Int("trials", 200_000, "Monte-Carlo trials for simulated columns")
 	seed := fs.Uint64("seed", 1, "random seed")
 	csvPath := fs.String("csv", "", "write CSV to this path")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	sess, err := g.start()
+	if err != nil {
+		return err
+	}
+	defer sess.finish(&err)
 	exp, err := harness.Lookup(id)
 	if err != nil {
 		return err
@@ -249,15 +466,16 @@ func cmdTable(args []string) error {
 	if exp.Kind != harness.KindTable {
 		return fmt.Errorf("%s is not a table", id)
 	}
-	tab, err := exp.RunTable(sim.Config{Trials: *trials, Seed: *seed})
+	out, err := exp.Run(sess.observer, 0, sim.Config{Trials: *trials, Seed: *seed})
 	if err != nil {
 		return err
 	}
-	out, err := tab.Render()
+	tab := *out.Table
+	text, err := tab.Render()
 	if err != nil {
 		return err
 	}
-	fmt.Println(out)
+	fmt.Println(text)
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
@@ -276,12 +494,18 @@ func cmdTable(args []string) error {
 // paper's optimality theorems on one instance: the Sturm-certified
 // symmetric oblivious maximum at α = 1/2 (Theorem 4.3) and the certified
 // optimal threshold with its optimality condition (Section 5.2).
-func cmdCertify(args []string) error {
+func cmdCertify(g *obsFlags, args []string) (err error) {
 	fs := flag.NewFlagSet("certify", flag.ContinueOnError)
+	g.register(fs)
 	n, delta := instanceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := g.start()
+	if err != nil {
+		return err
+	}
+	defer sess.finish(&err)
 	inst, err := core.NewInstance(*n, *delta)
 	if err != nil {
 		return err
@@ -290,7 +514,11 @@ func cmdCertify(args []string) error {
 	if !ok {
 		return fmt.Errorf("capacity %v is not an exact rational; certificates need exact arithmetic", *delta)
 	}
+	root := sess.observer.StartSpan("certify")
+	defer root.End()
+	sp := root.Child("oblivious")
 	cert, err := oblivious.CertifyHalfOptimal(*n, dr)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -300,7 +528,9 @@ func cmdCertify(args []string) error {
 		cert.HalfIsCritical, cert.HalfIsMaximum, cert.InteriorCritical)
 	fmt.Printf("  P(1/2) = %s\n\n", cert.HalfValue.RatString())
 
+	sp = root.Child("threshold")
 	thr, err := nonoblivious.OptimalSymmetric(*n, dr)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -318,6 +548,29 @@ func cmdCertify(args []string) error {
 		rf, _ := resid.Float64()
 		fmt.Printf("  dP/dβ at enclosure midpoint: %.3e (Theorem 5.2 residual)\n", rf)
 	}
+	return nil
+}
+
+// cmdMetrics replays a JSONL run log written via -obs into a
+// human-readable summary: span table, final metric values, convergence
+// traces, and recorded errors.
+func cmdMetrics(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("metrics needs a run log path (e.g. nocomm metrics run.jsonl)")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return fmt.Errorf("opening run log: %w", err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s contains no observability events", args[0])
+	}
+	fmt.Print(obs.Summarize(events).Render())
 	return nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRunDispatch(t *testing.T) {
@@ -42,6 +44,9 @@ func TestRunDispatch(t *testing.T) {
 		{"table unknown id", []string{"table", "T99"}, true},
 		{"table on figure id", []string{"table", "F1"}, true},
 		{"table t2", []string{"table", "t2"}, false},
+		{"metrics missing path", []string{"metrics"}, true},
+		{"metrics missing file", []string{"metrics", "/nonexistent/run.jsonl"}, true},
+		{"bad metrics format", []string{"simulate", "-trials", "100", "-metrics", "-metrics-format", "xml"}, true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -53,6 +58,95 @@ func TestRunDispatch(t *testing.T) {
 				t.Errorf("run(%v): unexpected error %v", c.args, err)
 			}
 		})
+	}
+}
+
+// TestUsageErrorListsAllSubcommands keeps the first-line usage error, the
+// help output, and the dispatch switch consistent: every subcommand —
+// including certify and metrics — must appear in the advertised list.
+func TestUsageErrorListsAllSubcommands(t *testing.T) {
+	err := run(nil)
+	if err == nil {
+		t.Fatal("no-args run should fail with a usage error")
+	}
+	for _, sub := range []string{"eval", "optimize", "simulate", "certify", "figure", "table", "metrics", "list"} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("usage error omits subcommand %q: %v", sub, err)
+		}
+		if !strings.Contains(subcommandList, sub) {
+			t.Errorf("help list omits subcommand %q: %s", sub, subcommandList)
+		}
+	}
+	if err := run([]string{"bogus"}); err == nil || !strings.Contains(err.Error(), "certify") {
+		t.Errorf("unknown-subcommand error should list all subcommands, got: %v", err)
+	}
+}
+
+// TestObsRoundTripThroughCLI drives the full observability path the README
+// documents: simulate with -obs writing a JSONL log, then replay it with
+// the metrics subcommand machinery and check the convergence trace.
+func TestObsRoundTripThroughCLI(t *testing.T) {
+	dir := t.TempDir()
+	log := filepath.Join(dir, "run.jsonl")
+	if err := run([]string{"simulate", "-n", "3", "-delta", "1", "-kind", "threshold",
+		"-param", "0.622", "-trials", "24000", "-workers", "2", "-obs", log}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := obs.Summarize(events)
+	if len(sum.Checkpoints) != 1 || len(sum.Checkpoints[0].Points) < 10 {
+		t.Fatalf("want one convergence stream with >= 10 checkpoints, got %+v", sum.Checkpoints)
+	}
+	if sum.Final == nil {
+		t.Fatal("run log lacks the final metrics snapshot")
+	}
+	if sum.Final.Counters["sim.trials"] != 24000 {
+		t.Errorf("sim.trials = %d, want 24000", sum.Final.Counters["sim.trials"])
+	}
+	if _, ok := sum.Final.Gauges["run.wall_seconds"]; !ok {
+		t.Error("snapshot lacks run.wall_seconds")
+	}
+	text := sum.Render()
+	for _, want := range []string{"sim.trials", "sim.wins", "convergence trace sim.convergence"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q:\n%s", want, text)
+		}
+	}
+	// The metrics subcommand must replay the same file without error.
+	if err := run([]string{"metrics", log}); err != nil {
+		t.Fatal(err)
+	}
+	// Global flags are also accepted before the subcommand.
+	if err := run([]string{"-obs", log, "eval", "-n", "3", "-delta", "1", "-param", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfileFlags checks that -cpuprofile/-memprofile produce pprof
+// artifacts.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	if err := run([]string{"simulate", "-trials", "5000", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

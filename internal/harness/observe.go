@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// RunOutput is the artifact produced by an observed experiment run:
+// exactly one of Figure or Table is non-nil, matching the experiment's
+// Kind.
+type RunOutput struct {
+	Figure *Figure
+	Table  *Table
+}
+
+// Run regenerates the experiment under observability: the whole run is
+// wrapped in exactly one root span named experiment.<ID>, its wall time is
+// recorded in the exp.<id>.wall_seconds gauge, the experiment counter is
+// bumped, and any embedded simulation inherits the observer through
+// cfg.Obs. points applies to figures, cfg to tables; a nil observer
+// degrades to the plain RunFigure/RunTable behavior.
+func (e Experiment) Run(o *obs.Observer, points int, cfg sim.Config) (RunOutput, error) {
+	root := o.StartSpan("experiment." + e.ID)
+	start := time.Now()
+	defer func() {
+		root.End()
+		o.Gauge(fmt.Sprintf("exp.%s.wall_seconds", e.ID)).Set(time.Since(start).Seconds())
+	}()
+	o.Counter("harness.experiments").Inc()
+	cfg.Obs = o
+	switch e.Kind {
+	case KindFigure:
+		if e.RunFigure == nil {
+			return RunOutput{}, fmt.Errorf("harness: experiment %s has no figure runner", e.ID)
+		}
+		fig, err := e.RunFigure(points)
+		if err != nil {
+			o.EmitError("experiment."+e.ID, err)
+			return RunOutput{}, err
+		}
+		return RunOutput{Figure: &fig}, nil
+	case KindTable:
+		if e.RunTable == nil {
+			return RunOutput{}, fmt.Errorf("harness: experiment %s has no table runner", e.ID)
+		}
+		tab, err := e.RunTable(cfg)
+		if err != nil {
+			o.EmitError("experiment."+e.ID, err)
+			return RunOutput{}, err
+		}
+		return RunOutput{Table: &tab}, nil
+	default:
+		return RunOutput{}, fmt.Errorf("harness: experiment %s has unknown kind %d", e.ID, e.Kind)
+	}
+}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestEveryExperimentEmitsOneRootSpan regenerates every registered
+// experiment (tiny sweep/trial budgets) under a fresh observer and asserts
+// the contract the run logs rely on: exactly one root span named
+// experiment.<ID> per run, properly closed, with the wall-time gauge set.
+func TestEveryExperimentEmitsOneRootSpan(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			exp, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			o := obs.New(obs.NewRegistry(), obs.NewSink(&buf))
+			out, err := exp.Run(o, 3, sim.Config{Trials: 500, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (out.Figure == nil) == (out.Table == nil) {
+				t.Errorf("%s: exactly one of Figure/Table must be set", id)
+			}
+			events, err := obs.ReadEvents(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rootStarts, rootEnds := 0, 0
+			for _, ev := range events {
+				if ev.Name != "experiment."+id {
+					continue
+				}
+				switch ev.Type {
+				case obs.EventSpanStart:
+					if ev.Parent != 0 {
+						t.Errorf("%s: experiment span is not a root span", id)
+					}
+					rootStarts++
+				case obs.EventSpanEnd:
+					rootEnds++
+				}
+			}
+			if rootStarts != 1 || rootEnds != 1 {
+				t.Errorf("%s: root span start/end = %d/%d, want 1/1", id, rootStarts, rootEnds)
+			}
+			if o.Gauge("exp."+id+".wall_seconds").Value() <= 0 {
+				t.Errorf("%s: wall-time gauge not set", id)
+			}
+			if o.Counter("harness.experiments").Value() != 1 {
+				t.Errorf("%s: experiment counter = %d, want 1", id, o.Counter("harness.experiments").Value())
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Observer is the handle instrumented code receives: a metrics registry, an
+// event sink, and a span factory. Either half may be nil — metrics-only and
+// trace-only observers both work — and a nil *Observer disables everything,
+// so hot paths guard with a single nil check (or none at all, since every
+// object an Observer hands out is itself nil-safe).
+type Observer struct {
+	// Metrics is the metric registry (nil = no metrics).
+	Metrics *Registry
+	// Events is the structured event sink (nil = no event log).
+	Events *Sink
+
+	spanID atomic.Int64
+}
+
+// New builds an observer over a registry and a sink; either may be nil.
+// New(nil, nil) returns nil — fully disabled.
+func New(reg *Registry, sink *Sink) *Observer {
+	if reg == nil && sink == nil {
+		return nil
+	}
+	return &Observer{Metrics: reg, Events: sink}
+}
+
+// Enabled reports whether any instrumentation is active.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Counter returns the named counter (nil when disabled).
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge (nil when disabled).
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name)
+}
+
+// Timer returns the named timer (nil when disabled).
+func (o *Observer) Timer(name string) *Timer {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Timer(name)
+}
+
+// Histogram returns the named histogram, creating it with the given shape
+// on first use (nil when disabled or on invalid shape).
+func (o *Observer) Histogram(name string, lo, hi float64, buckets int) *Histogram {
+	if o == nil {
+		return nil
+	}
+	h, err := o.Metrics.Histogram(name, lo, hi, buckets)
+	if err != nil {
+		return nil
+	}
+	return h
+}
+
+// Emit appends one event to the sink, if any.
+func (o *Observer) Emit(ev Event) {
+	if o == nil {
+		return
+	}
+	o.Events.Emit(ev)
+}
+
+// EmitError records an error event and bumps the errors.<name> counter.
+func (o *Observer) EmitError(name string, err error) {
+	if o == nil || err == nil {
+		return
+	}
+	o.Counter("errors." + name).Inc()
+	o.Events.Emit(Event{Type: EventError, Name: name, Msg: err.Error()})
+}
+
+// EmitSnapshot writes the registry's full current state into the event log
+// so offline replay (nocomm metrics) can render final metric values.
+func (o *Observer) EmitSnapshot() {
+	if o == nil || o.Events == nil {
+		return
+	}
+	snap := o.Metrics.Snapshot()
+	o.Events.Emit(Event{Type: EventSnapshot, Name: "metrics", Metrics: &snap})
+}
+
+// Span is one timed phase in a trace. Spans nest: Child spans reference
+// their parent's id in the event log, and ending a span records its wall
+// time both as a span_end event and in the span.<name> timer. A nil *Span
+// is a no-op.
+type Span struct {
+	obs    *Observer
+	name   string
+	id     int64
+	parent int64
+	start  time.Time
+}
+
+// StartSpan opens a root span.
+func (o *Observer) StartSpan(name string) *Span {
+	return o.startSpan(name, 0)
+}
+
+func (o *Observer) startSpan(name string, parent int64) *Span {
+	if o == nil {
+		return nil
+	}
+	s := &Span{
+		obs:    o,
+		name:   name,
+		id:     o.spanID.Add(1),
+		parent: parent,
+		start:  time.Now(),
+	}
+	o.Events.Emit(Event{
+		TimeNS: s.start.UnixNano(),
+		Type:   EventSpanStart,
+		Name:   name,
+		Span:   s.id,
+		Parent: parent,
+	})
+	return s
+}
+
+// Child opens a nested span under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.obs.startSpan(name, s.id)
+}
+
+// End closes the span, emitting a span_end event (with the duration in
+// seconds) and feeding the span.<name> timer. End is idempotent only in
+// the trivial sense that calling it on a nil span does nothing; do not end
+// a span twice.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.obs.Timer("span." + s.name).Observe(d)
+	s.obs.Events.Emit(Event{
+		Type:   EventSpanEnd,
+		Name:   s.name,
+		Span:   s.id,
+		Parent: s.parent,
+		Attrs:  map[string]float64{"seconds": d.Seconds()},
+	})
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}

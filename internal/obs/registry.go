@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. A nil *Counter is a no-op,
+// so call sites never need to guard on observability being enabled.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins metric. A nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+	set  atomic.Bool
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.set.Store(true)
+}
+
+// Value returns the last value set (0 for a nil or never-set gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Timer accumulates durations: count, total, min and max. A nil *Timer is
+// a no-op.
+type Timer struct {
+	mu    sync.Mutex
+	count int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 || d < t.min {
+		t.min = d
+	}
+	if t.count == 0 || d > t.max {
+		t.max = d
+	}
+	t.count++
+	t.total += d
+}
+
+// Time runs fn and records its wall time.
+func (t *Timer) Time(fn func()) {
+	if t == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// TimerStats is a point-in-time copy of a Timer's accumulators.
+type TimerStats struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+}
+
+// Stats returns a snapshot of the timer.
+func (t *Timer) Stats() TimerStats {
+	if t == nil {
+		return TimerStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TimerStats{
+		Count:        t.count,
+		TotalSeconds: t.total.Seconds(),
+		MinSeconds:   t.min.Seconds(),
+		MaxSeconds:   t.max.Seconds(),
+	}
+}
+
+// Registry is a concurrency-safe collection of named metrics. The zero
+// value is not usable; construct with NewRegistry. A nil *Registry hands
+// out nil metrics, which are themselves no-ops.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	t := r.timers[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.timers[name]; t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Histogram returns the named histogram, creating it on first use with the
+// given range and bucket count. The shape arguments only apply on creation;
+// later calls return the existing histogram regardless of shape.
+func (r *Registry) Histogram(name string, lo, hi float64, buckets int) (*Histogram, error) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h != nil {
+		return h, nil
+	}
+	h, err := NewHistogram(lo, hi, buckets)
+	if err != nil {
+		return nil, fmt.Errorf("obs: histogram %q: %w", name, err)
+	}
+	r.histograms[name] = h
+	return h, nil
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Timers     map[string]TimerStats     `json:"timers,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Timers:     map[string]TimerStats{},
+		Histograms: map[string]HistogramStats{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, t := range r.timers {
+		s.Timers[name] = t.Stats()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Stats()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as one indented JSON object.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("obs: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// promName maps a dotted metric name onto the Prometheus exposition
+// grammar: dots and other invalid runes become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format, sanitizing dotted names (sim.trials → sim_trials).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(name), promName(name), s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", promName(name), promName(name), s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		t := s.Timers[name]
+		p := promName(name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n%s_count %d\n%s_sum %g\n",
+			p, p, t.Count, p, t.TotalSeconds); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		p := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p); err != nil {
+			return err
+		}
+		width := (h.Hi - h.Lo) / float64(len(h.Counts))
+		cum := h.Under
+		for i, c := range h.Counts {
+			cum += c
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", p, fmt.Sprintf("%g", h.Lo+width*float64(i+1)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_count %d\n", p, cum+h.Over, p, cum+h.Over); err != nil {
+			return err
+		}
+	}
+	return nil
+}

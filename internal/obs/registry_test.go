@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines; run
+// under -race this verifies the create-or-get paths and all four metric
+// kinds are safe for concurrent use.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				reg.Counter("shared.count").Inc()
+				reg.Gauge("shared.gauge").Set(float64(i))
+				reg.Timer("shared.timer").Observe(time.Microsecond)
+				h, err := reg.Histogram("shared.hist", 0, 1, 10)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				h.Observe(float64(i%perG) / perG)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := reg.Counter("shared.count").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.Timer("shared.timer").Stats().Count; got != goroutines*perG {
+		t.Errorf("timer count = %d, want %d", got, goroutines*perG)
+	}
+	h, err := reg.Histogram("shared.hist", 0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Total(); got != goroutines*perG {
+		t.Errorf("histogram total = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestSnapshotJSONAndPrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.trials").Add(1000)
+	reg.Counter("sim.wins").Add(618)
+	reg.Gauge("sim.worker.0.trials_per_sec").Set(123456)
+	reg.Timer("span.sim.run").Observe(250 * time.Millisecond)
+	h, err := reg.Histogram("sim.estimate", 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(0.6)
+
+	snap := reg.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if decoded.Counters["sim.trials"] != 1000 || decoded.Counters["sim.wins"] != 618 {
+		t.Errorf("counters lost in JSON round-trip: %+v", decoded.Counters)
+	}
+	if decoded.Timers["span.sim.run"].Count != 1 {
+		t.Errorf("timer lost in JSON round-trip: %+v", decoded.Timers)
+	}
+
+	buf.Reset()
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"sim_trials 1000",
+		"sim_wins 618",
+		"sim_worker_0_trials_per_sec 123456",
+		"span_sim_run_seconds_count 1",
+		"sim_estimate_bucket{le=\"+Inf\"} 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestNilSafety verifies the disabled path: a nil observer and everything
+// it hands out must be inert, never panic.
+func TestNilSafety(t *testing.T) {
+	var o *Observer
+	if o.Enabled() {
+		t.Error("nil observer reports enabled")
+	}
+	o.Counter("x").Add(5)
+	o.Gauge("x").Set(1)
+	o.Timer("x").Observe(time.Second)
+	o.Histogram("x", 0, 1, 4).Observe(0.5)
+	o.Emit(Event{Type: EventMetric})
+	o.EmitSnapshot()
+	sp := o.StartSpan("root")
+	sp.Child("inner").End()
+	sp.End()
+	if sp.Name() != "" {
+		t.Error("nil span has a name")
+	}
+	var reg *Registry
+	reg.Counter("x").Inc()
+	if got := reg.Snapshot(); len(got.Counters) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	var sink *Sink
+	sink.Emit(Event{})
+	if sink.Err() != nil {
+		t.Error("nil sink reports error")
+	}
+	if New(nil, nil) != nil {
+		t.Error("New(nil, nil) should return a nil (disabled) observer")
+	}
+}

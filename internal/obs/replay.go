@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SpanSummary aggregates every completed span with one name at one
+// nesting depth.
+type SpanSummary struct {
+	Name         string
+	Depth        int
+	Count        int64
+	TotalSeconds float64
+}
+
+// CheckpointStream is the ordered list of checkpoint events with one name
+// (e.g. the sim.convergence trace).
+type CheckpointStream struct {
+	Name   string
+	Points []Event
+}
+
+// RunSummary is the digest of a replayed JSONL run log.
+type RunSummary struct {
+	// Events is the total number of parsed events.
+	Events int
+	// StartNS and EndNS bound the log's timestamps (Unix nanoseconds).
+	StartNS, EndNS int64
+	// Spans aggregates completed spans in first-seen order.
+	Spans []SpanSummary
+	// OpenSpans counts span_start events with no matching span_end
+	// (a crashed or truncated run).
+	OpenSpans int
+	// Checkpoints holds every checkpoint stream in first-seen order.
+	Checkpoints []CheckpointStream
+	// Errors holds the error events in log order.
+	Errors []Event
+	// Final is the last metrics snapshot in the log, if any.
+	Final *Snapshot
+}
+
+// Summarize digests a parsed run log: span durations by name and depth,
+// checkpoint streams, error events, and the final metrics snapshot.
+func Summarize(events []Event) *RunSummary {
+	sum := &RunSummary{Events: len(events)}
+	type spanKey struct {
+		name  string
+		depth int
+	}
+	depthOf := map[int64]int{}  // span id → depth
+	open := map[int64]spanKey{} // span id → aggregation key
+	agg := map[spanKey]int{}    // key → index into sum.Spans
+	streams := map[string]int{} // checkpoint name → index into sum.Checkpoints
+	for _, ev := range events {
+		if ev.TimeNS != 0 {
+			if sum.StartNS == 0 || ev.TimeNS < sum.StartNS {
+				sum.StartNS = ev.TimeNS
+			}
+			if ev.TimeNS > sum.EndNS {
+				sum.EndNS = ev.TimeNS
+			}
+		}
+		switch ev.Type {
+		case EventSpanStart:
+			depth := 0
+			if d, ok := depthOf[ev.Parent]; ok && ev.Parent != 0 {
+				depth = d + 1
+			}
+			depthOf[ev.Span] = depth
+			key := spanKey{name: ev.Name, depth: depth}
+			open[ev.Span] = key
+			if _, ok := agg[key]; !ok {
+				agg[key] = len(sum.Spans)
+				sum.Spans = append(sum.Spans, SpanSummary{Name: ev.Name, Depth: depth})
+			}
+		case EventSpanEnd:
+			key, ok := open[ev.Span]
+			if !ok {
+				key = spanKey{name: ev.Name}
+				if _, seen := agg[key]; !seen {
+					agg[key] = len(sum.Spans)
+					sum.Spans = append(sum.Spans, SpanSummary{Name: ev.Name})
+				}
+			}
+			delete(open, ev.Span)
+			s := &sum.Spans[agg[key]]
+			s.Count++
+			s.TotalSeconds += ev.Attrs["seconds"]
+		case EventCheckpoint:
+			i, ok := streams[ev.Name]
+			if !ok {
+				i = len(sum.Checkpoints)
+				streams[ev.Name] = i
+				sum.Checkpoints = append(sum.Checkpoints, CheckpointStream{Name: ev.Name})
+			}
+			sum.Checkpoints[i].Points = append(sum.Checkpoints[i].Points, ev)
+		case EventError:
+			sum.Errors = append(sum.Errors, ev)
+		case EventSnapshot:
+			if ev.Metrics != nil {
+				sum.Final = ev.Metrics
+			}
+		}
+	}
+	sum.OpenSpans = len(open)
+	return sum
+}
+
+// attrColumns orders a checkpoint stream's attribute keys for display:
+// trials and wins lead (when present), the rest follow alphabetically.
+func attrColumns(points []Event) []string {
+	seen := map[string]bool{}
+	for _, p := range points {
+		for k := range p.Attrs {
+			seen[k] = true
+		}
+	}
+	lead := []string{"trials", "wins", "estimate", "ci_lo", "ci_hi"}
+	var cols []string
+	for _, k := range lead {
+		if seen[k] {
+			cols = append(cols, k)
+			delete(seen, k)
+		}
+	}
+	rest := make([]string, 0, len(seen))
+	for k := range seen {
+		rest = append(rest, k)
+	}
+	sort.Strings(rest)
+	return append(cols, rest...)
+}
+
+func formatAttr(col string, v float64) string {
+	if col == "trials" || col == "wins" || v == float64(int64(v)) && v >= 1000 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+func renderGrid(b *strings.Builder, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	total := 2 * (len(header) - 1)
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// Render formats the summary as human-readable text: a span table, the
+// final metric values, each convergence trace, and any recorded errors.
+func (sum *RunSummary) Render() string {
+	var b strings.Builder
+	wall := time.Duration(sum.EndNS - sum.StartNS)
+	fmt.Fprintf(&b, "run log: %d events, wall %.3fs\n", sum.Events, wall.Seconds())
+	if sum.OpenSpans > 0 {
+		fmt.Fprintf(&b, "warning: %d span(s) never ended (truncated run?)\n", sum.OpenSpans)
+	}
+
+	if len(sum.Spans) > 0 {
+		b.WriteString("\nspans:\n")
+		rows := make([][]string, 0, len(sum.Spans))
+		for _, s := range sum.Spans {
+			mean := 0.0
+			if s.Count > 0 {
+				mean = s.TotalSeconds / float64(s.Count)
+			}
+			rows = append(rows, []string{
+				strings.Repeat("  ", s.Depth) + s.Name,
+				fmt.Sprintf("%d", s.Count),
+				fmt.Sprintf("%.4f", s.TotalSeconds),
+				fmt.Sprintf("%.4f", mean),
+			})
+		}
+		renderGrid(&b, []string{"span", "count", "total(s)", "mean(s)"}, rows)
+	}
+
+	if sum.Final != nil {
+		if len(sum.Final.Counters) > 0 {
+			b.WriteString("\ncounters:\n")
+			for _, name := range sortedKeys(sum.Final.Counters) {
+				fmt.Fprintf(&b, "  %-36s %d\n", name, sum.Final.Counters[name])
+			}
+		}
+		if len(sum.Final.Gauges) > 0 {
+			b.WriteString("\ngauges:\n")
+			for _, name := range sortedKeys(sum.Final.Gauges) {
+				fmt.Fprintf(&b, "  %-36s %g\n", name, sum.Final.Gauges[name])
+			}
+		}
+	}
+
+	for _, cs := range sum.Checkpoints {
+		fmt.Fprintf(&b, "\nconvergence trace %s: %d checkpoints\n", cs.Name, len(cs.Points))
+		cols := attrColumns(cs.Points)
+		rows := make([][]string, 0, len(cs.Points))
+		for _, p := range cs.Points {
+			row := make([]string, len(cols))
+			for i, c := range cols {
+				row[i] = formatAttr(c, p.Attrs[c])
+			}
+			rows = append(rows, row)
+		}
+		renderGrid(&b, cols, rows)
+	}
+
+	if len(sum.Errors) > 0 {
+		fmt.Fprintf(&b, "\nerrors: %d\n", len(sum.Errors))
+		for _, e := range sum.Errors {
+			fmt.Fprintf(&b, "  %s: %s\n", e.Name, e.Msg)
+		}
+	}
+	return b.String()
+}

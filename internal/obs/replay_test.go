@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSpanNestingAndRoundTrip drives the full pipeline the `nocomm
+// metrics` subcommand relies on: spans and checkpoints emitted through a
+// JSONL sink, parsed back with ReadEvents, digested by Summarize, and
+// rendered.
+func TestSpanNestingAndRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	o := New(reg, NewSink(&buf))
+
+	root := o.StartSpan("experiment.T2")
+	child := root.Child("sim.run")
+	for i := 1; i <= 12; i++ {
+		o.Emit(Event{
+			Type: EventCheckpoint,
+			Name: "sim.convergence",
+			Attrs: map[string]float64{
+				"trials":   float64(i * 1000),
+				"estimate": 0.6 + 0.001*float64(i),
+				"ci_lo":    0.59,
+				"ci_hi":    0.63,
+			},
+		})
+	}
+	grand := child.Child("worker.batch")
+	grand.End()
+	child.End()
+	root.End()
+	o.Counter("sim.trials").Add(12000)
+	o.EmitSnapshot()
+	if err := o.Events.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append garbage: replay must skip it, not fail.
+	buf.WriteString("not json at all\n{\"t\": trunca")
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(events)
+	if sum.OpenSpans != 0 {
+		t.Errorf("open spans = %d, want 0", sum.OpenSpans)
+	}
+	wantDepth := map[string]int{"experiment.T2": 0, "sim.run": 1, "worker.batch": 2}
+	found := map[string]bool{}
+	for _, s := range sum.Spans {
+		found[s.Name] = true
+		if d, ok := wantDepth[s.Name]; !ok || d != s.Depth {
+			t.Errorf("span %s depth = %d, want %d", s.Name, s.Depth, wantDepth[s.Name])
+		}
+		if s.Count != 1 {
+			t.Errorf("span %s count = %d, want 1", s.Name, s.Count)
+		}
+	}
+	for name := range wantDepth {
+		if !found[name] {
+			t.Errorf("span %s missing from summary", name)
+		}
+	}
+	if len(sum.Checkpoints) != 1 || len(sum.Checkpoints[0].Points) != 12 {
+		t.Fatalf("checkpoint stream wrong: %+v", sum.Checkpoints)
+	}
+	if sum.Final == nil || sum.Final.Counters["sim.trials"] != 12000 {
+		t.Errorf("final snapshot lost: %+v", sum.Final)
+	}
+
+	text := sum.Render()
+	for _, want := range []string{
+		"convergence trace sim.convergence: 12 checkpoints",
+		"experiment.T2",
+		"  sim.run",        // depth-1 indentation
+		"    worker.batch", // depth-2 indentation
+		"sim.trials",
+		"12000",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered summary missing %q:\n%s", want, text)
+		}
+	}
+	// The span timers must have been fed as well.
+	if reg.Timer("span.sim.run").Stats().Count != 1 {
+		t.Error("span timer not recorded")
+	}
+}
+
+// TestSummarizeTruncatedRun checks that a log with an unterminated span is
+// reported rather than miscounted.
+func TestSummarizeTruncatedRun(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(NewRegistry(), NewSink(&buf))
+	o.StartSpan("sim.run") // never ended
+	o.EmitError("sim.trial", bytes.ErrTooLarge)
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(events)
+	if sum.OpenSpans != 1 {
+		t.Errorf("open spans = %d, want 1", sum.OpenSpans)
+	}
+	if len(sum.Errors) != 1 {
+		t.Fatalf("errors = %d, want 1", len(sum.Errors))
+	}
+	if !strings.Contains(sum.Render(), "never ended") {
+		t.Error("truncated-run warning missing")
+	}
+	if o.Counter("errors.sim.trial").Value() != 1 {
+		t.Error("error counter not bumped")
+	}
+}

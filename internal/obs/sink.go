@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event types emitted by the layer. Consumers (Summarize, external tools)
+// switch on Type; unknown types must be skipped, not rejected, so the
+// schema can grow.
+const (
+	EventSpanStart  = "span_start"
+	EventSpanEnd    = "span_end"
+	EventCheckpoint = "checkpoint"
+	EventMetric     = "metric"
+	EventError      = "error"
+	EventSnapshot   = "snapshot"
+)
+
+// Event is one structured record in a run log.
+type Event struct {
+	// TimeNS is the wall-clock timestamp in Unix nanoseconds.
+	TimeNS int64 `json:"t"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Name identifies the span, metric or checkpoint stream.
+	Name string `json:"name,omitempty"`
+	// Span and Parent are span ids for span_start/span_end events
+	// (Parent 0 marks a root span).
+	Span   int64 `json:"span,omitempty"`
+	Parent int64 `json:"parent,omitempty"`
+	// Attrs carries numeric payload fields (duration, estimates, ...).
+	Attrs map[string]float64 `json:"attrs,omitempty"`
+	// Msg carries free text (error events).
+	Msg string `json:"msg,omitempty"`
+	// Metrics carries a full registry snapshot for snapshot events.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// Sink serializes events to a writer as JSONL (one JSON object per line).
+// Emit is safe for concurrent use. A nil *Sink drops every event.
+type Sink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	w   io.Writer
+	err error
+}
+
+// NewSink wraps a writer (file, buffer, network pipe — anything io.Writer)
+// in a JSONL event sink.
+func NewSink(w io.Writer) *Sink {
+	return &Sink{enc: json.NewEncoder(w), w: w}
+}
+
+// Emit appends one event to the log. The first serialization error is
+// retained (see Err) and later events are dropped.
+func (s *Sink) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	if ev.TimeNS == 0 {
+		ev.TimeNS = time.Now().UnixNano()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(ev); err != nil {
+		s.err = fmt.Errorf("obs: emitting event: %w", err)
+	}
+}
+
+// Err reports the first write error, if any.
+func (s *Sink) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// ReadEvents parses a JSONL run log. Malformed lines are skipped so a
+// truncated log (crashed run) still replays; only reader failures error.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: reading run log after %d events: %w", len(out), err)
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package optimize
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestGoldenSectionObserved checks the recorded metrics against the
+// returned result and the event trace's bracket contraction.
+func TestGoldenSectionObserved(t *testing.T) {
+	var buf bytes.Buffer
+	o := obs.New(obs.NewRegistry(), obs.NewSink(&buf))
+	f := func(x float64) float64 { return -(x - 0.3) * (x - 0.3) }
+	res, err := GoldenSectionMaxObserved(o, f, 0, 1, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X-0.3) > 1e-6 {
+		t.Errorf("X = %v, want ≈ 0.3", res.X)
+	}
+	if res.Iterations <= 0 {
+		t.Error("no iterations recorded in result")
+	}
+	if got := o.Counter("opt.golden.evals").Value(); got != int64(res.Evals) {
+		t.Errorf("opt.golden.evals = %d, want %d", got, res.Evals)
+	}
+	if got := o.Counter("opt.golden.iterations").Value(); got != int64(res.Iterations) {
+		t.Errorf("opt.golden.iterations = %d, want %d", got, res.Iterations)
+	}
+	if w := o.Gauge("opt.golden.bracket_width").Value(); !(w > 0 && w <= 1e-8) {
+		t.Errorf("final bracket width %v not within tolerance", w)
+	}
+
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := obs.Summarize(events)
+	if len(sum.Checkpoints) != 1 || sum.Checkpoints[0].Name != "opt.golden_section" {
+		t.Fatalf("checkpoint streams: %+v", sum.Checkpoints)
+	}
+	pts := sum.Checkpoints[0].Points
+	if len(pts) != res.Iterations {
+		t.Errorf("trace has %d iterations, result says %d", len(pts), res.Iterations)
+	}
+	prev := math.Inf(1)
+	for i, p := range pts {
+		w := p.Attrs["width"]
+		if w >= prev {
+			t.Errorf("iteration %d: bracket width %v did not shrink from %v", i, w, prev)
+		}
+		prev = w
+	}
+}
+
+// TestBrentRootObserved checks eval/iteration accounting on the root
+// finder.
+func TestBrentRootObserved(t *testing.T) {
+	o := obs.New(obs.NewRegistry(), nil)
+	root, err := BrentRootObserved(o, func(x float64) float64 { return x*x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Cbrt(2)) > 1e-9 {
+		t.Errorf("root = %v, want cbrt(2)", root)
+	}
+	if o.Counter("opt.brent.iterations").Value() <= 0 {
+		t.Error("no Brent iterations recorded")
+	}
+	if o.Counter("opt.brent.evals").Value() < 3 {
+		t.Error("Brent evals not accounted")
+	}
+}
+
+// TestObservedVariantsMatchPlain pins that the nil-observer fast path and
+// the plain entry points agree exactly.
+func TestObservedVariantsMatchPlain(t *testing.T) {
+	f := func(x float64) float64 { return math.Sin(3*x) - 0.2*x }
+	plain, err := GridThenGoldenMax(f, 0, 2, 41, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New(obs.NewRegistry(), nil)
+	observed, err := GridThenGoldenMaxObserved(o, f, 0, 2, 41, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != observed {
+		t.Errorf("observability changed the optimization: %+v vs %+v", plain, observed)
+	}
+	if o.Counter("opt.grid.evals").Value() != 41 {
+		t.Errorf("opt.grid.evals = %d, want 41", o.Counter("opt.grid.evals").Value())
+	}
+}

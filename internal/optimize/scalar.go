@@ -13,6 +13,8 @@ package optimize
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // invPhi is 1/φ, the golden-section step ratio.
@@ -26,6 +28,8 @@ type ScalarResult struct {
 	Value float64
 	// Evals counts function evaluations performed.
 	Evals int
+	// Iterations counts bracket-shrinking iterations performed.
+	Iterations int
 }
 
 // GoldenSectionMax maximizes f on [lo, hi] to within tol using
@@ -34,6 +38,16 @@ type ScalarResult struct {
 // maximum. It returns an error for invalid intervals, tolerances, or a nil
 // function.
 func GoldenSectionMax(f func(float64) float64, lo, hi, tol float64) (ScalarResult, error) {
+	return GoldenSectionMaxObserved(nil, f, lo, hi, tol)
+}
+
+// GoldenSectionMaxObserved is GoldenSectionMax with observability: it
+// counts function evaluations and iterations (opt.golden.evals,
+// opt.golden.iterations), records the final bracket width
+// (opt.golden.bracket_width), and emits one opt.golden_section checkpoint
+// event per iteration with the live bracket. A nil observer makes it
+// identical to GoldenSectionMax.
+func GoldenSectionMaxObserved(o *obs.Observer, f func(float64) float64, lo, hi, tol float64) (ScalarResult, error) {
 	if f == nil {
 		return ScalarResult{}, fmt.Errorf("optimize: nil objective")
 	}
@@ -43,11 +57,14 @@ func GoldenSectionMax(f func(float64) float64, lo, hi, tol float64) (ScalarResul
 	if !(tol > 0) {
 		return ScalarResult{}, fmt.Errorf("optimize: non-positive tolerance %v", tol)
 	}
+	sp := o.StartSpan("opt.golden_section")
+	defer sp.End()
 	evals := 0
 	eval := func(x float64) float64 {
 		evals++
 		return f(x)
 	}
+	iters := 0
 	a, b := lo, hi
 	c := b - (b-a)*invPhi
 	d := a + (b-a)*invPhi
@@ -62,6 +79,20 @@ func GoldenSectionMax(f func(float64) float64, lo, hi, tol float64) (ScalarResul
 			d = a + (b-a)*invPhi
 			fd = eval(d)
 		}
+		iters++
+		if o.Enabled() {
+			o.Emit(obs.Event{
+				Type: obs.EventCheckpoint,
+				Name: "opt.golden_section",
+				Attrs: map[string]float64{
+					"iter":  float64(iters),
+					"lo":    a,
+					"hi":    b,
+					"width": b - a,
+					"best":  math.Max(fc, fd),
+				},
+			})
+		}
 	}
 	x := (a + b) / 2
 	v := eval(x)
@@ -72,7 +103,10 @@ func GoldenSectionMax(f func(float64) float64, lo, hi, tol float64) (ScalarResul
 	if fd > v {
 		x, v = d, fd
 	}
-	return ScalarResult{X: x, Value: v, Evals: evals}, nil
+	o.Counter("opt.golden.evals").Add(int64(evals))
+	o.Counter("opt.golden.iterations").Add(int64(iters))
+	o.Gauge("opt.golden.bracket_width").Set(b - a)
+	return ScalarResult{X: x, Value: v, Evals: evals, Iterations: iters}, nil
 }
 
 // GridThenGoldenMax scans [lo, hi] on a grid of the given resolution to
@@ -80,6 +114,14 @@ func GoldenSectionMax(f func(float64) float64, lo, hi, tol float64) (ScalarResul
 // refines the best bracket with golden-section search. It returns an error
 // for invalid arguments.
 func GridThenGoldenMax(f func(float64) float64, lo, hi float64, gridPoints int, tol float64) (ScalarResult, error) {
+	return GridThenGoldenMaxObserved(nil, f, lo, hi, gridPoints, tol)
+}
+
+// GridThenGoldenMaxObserved is GridThenGoldenMax with observability: the
+// grid scan is counted under opt.grid.evals and wrapped, together with the
+// golden-section refinement, in an opt.grid_then_golden span. A nil
+// observer makes it identical to GridThenGoldenMax.
+func GridThenGoldenMaxObserved(o *obs.Observer, f func(float64) float64, lo, hi float64, gridPoints int, tol float64) (ScalarResult, error) {
 	if f == nil {
 		return ScalarResult{}, fmt.Errorf("optimize: nil objective")
 	}
@@ -92,6 +134,8 @@ func GridThenGoldenMax(f func(float64) float64, lo, hi float64, gridPoints int, 
 	if !(tol > 0) {
 		return ScalarResult{}, fmt.Errorf("optimize: non-positive tolerance %v", tol)
 	}
+	sp := o.StartSpan("opt.grid_then_golden")
+	defer sp.End()
 	evals := 0
 	bestI, bestV := 0, math.Inf(-1)
 	h := (hi - lo) / float64(gridPoints-1)
@@ -102,9 +146,10 @@ func GridThenGoldenMax(f func(float64) float64, lo, hi float64, gridPoints int, 
 			bestI, bestV = i, v
 		}
 	}
+	o.Counter("opt.grid.evals").Add(int64(evals))
 	bLo := lo + float64(maxInt(bestI-1, 0))*h
 	bHi := lo + float64(minInt(bestI+1, gridPoints-1))*h
-	res, err := GoldenSectionMax(f, bLo, bHi, tol)
+	res, err := GoldenSectionMaxObserved(o, f, bLo, bHi, tol)
 	if err != nil {
 		return ScalarResult{}, err
 	}
@@ -174,6 +219,15 @@ func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 // bracket a root. It returns an error on invalid input, same-sign
 // endpoints, or failure to converge in 200 iterations.
 func BrentRoot(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	return BrentRootObserved(nil, f, lo, hi, tol)
+}
+
+// BrentRootObserved is BrentRoot with observability: it counts function
+// evaluations and iterations (opt.brent.evals, opt.brent.iterations),
+// records the final bracket width (opt.brent.bracket_width), and emits one
+// opt.brent_root checkpoint event per iteration. A nil observer makes it
+// identical to BrentRoot.
+func BrentRootObserved(o *obs.Observer, f func(float64) float64, lo, hi, tol float64) (float64, error) {
 	if f == nil {
 		return 0, fmt.Errorf("optimize: nil function")
 	}
@@ -183,27 +237,53 @@ func BrentRoot(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 	if !(tol > 0) {
 		return 0, fmt.Errorf("optimize: non-positive tolerance %v", tol)
 	}
+	sp := o.StartSpan("opt.brent_root")
+	defer sp.End()
+	evals := 0
+	iters := 0
+	finish := func(root float64, err error) (float64, error) {
+		o.Counter("opt.brent.evals").Add(int64(evals))
+		o.Counter("opt.brent.iterations").Add(int64(iters))
+		return root, err
+	}
+	eval := func(x float64) float64 {
+		evals++
+		return f(x)
+	}
 	a, b := lo, hi
-	fa, fb := f(a), f(b)
+	fa, fb := eval(a), eval(b)
 	if fa == 0 {
-		return a, nil
+		return finish(a, nil)
 	}
 	if fb == 0 {
-		return b, nil
+		return finish(b, nil)
 	}
 	if (fa > 0) == (fb > 0) {
-		return 0, fmt.Errorf("optimize: f has the same sign at %v and %v", lo, hi)
+		return finish(0, fmt.Errorf("optimize: f has the same sign at %v and %v", lo, hi))
 	}
 	c, fc := a, fa
 	mflag := true
 	var d float64
 	for i := 0; i < 200; i++ {
+		iters++
+		if o.Enabled() {
+			o.Emit(obs.Event{
+				Type: obs.EventCheckpoint,
+				Name: "opt.brent_root",
+				Attrs: map[string]float64{
+					"iter":  float64(iters),
+					"width": math.Abs(b - a),
+					"fb":    fb,
+				},
+			})
+		}
 		if math.Abs(fa) < math.Abs(fb) {
 			a, b = b, a
 			fa, fb = fb, fa
 		}
 		if fb == 0 || math.Abs(b-a) < tol {
-			return b, nil
+			o.Gauge("opt.brent.bracket_width").Set(math.Abs(b - a))
+			return finish(b, nil)
 		}
 		var s float64
 		if fa != fc && fb != fc {
@@ -228,7 +308,7 @@ func BrentRoot(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 		default:
 			mflag = false
 		}
-		fs := f(s)
+		fs := eval(s)
 		d, c, fc = c, b, fb
 		if (fa > 0) != (fs > 0) {
 			b, fb = s, fs
@@ -236,5 +316,5 @@ func BrentRoot(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 			a, fa = s, fs
 		}
 	}
-	return 0, fmt.Errorf("optimize: Brent root did not converge on [%v, %v]", lo, hi)
+	return finish(0, fmt.Errorf("optimize: Brent root did not converge on [%v, %v]", lo, hi))
 }

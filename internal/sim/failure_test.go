@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"bytes"
 	"errors"
 	"math/rand/v2"
 	"strings"
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 var errInjected = errors.New("injected decision fault")
@@ -48,6 +50,9 @@ func TestWinProbabilityPropagatesRuleErrors(t *testing.T) {
 	if !errors.Is(err, errInjected) {
 		t.Errorf("error chain lost the cause: %v", err)
 	}
+	if !errors.Is(err, ErrRuleFailed) {
+		t.Errorf("error not classified as ErrRuleFailed: %v", err)
+	}
 	if !strings.Contains(err.Error(), "trial failed") {
 		t.Errorf("error lacks simulation context: %v", err)
 	}
@@ -65,6 +70,9 @@ func TestLoadStatsPropagatesRuleErrors(t *testing.T) {
 	}
 	if !errors.Is(err, errInjected) {
 		t.Errorf("error chain lost the cause: %v", err)
+	}
+	if !errors.Is(err, ErrRuleFailed) {
+		t.Errorf("error not classified as ErrRuleFailed: %v", err)
 	}
 }
 
@@ -87,5 +95,40 @@ func TestPartialFaultStillFails(t *testing.T) {
 	}
 	if !errors.Is(err, errInjected) {
 		t.Errorf("error chain lost the cause: %v", err)
+	}
+	if !errors.Is(err, ErrRuleFailed) {
+		t.Errorf("error not classified as ErrRuleFailed: %v", err)
+	}
+}
+
+// TestObservedFailureEmitsErrorEvent checks that with observability on, a
+// rule fault is classified, logged to the event sink, and counted.
+func TestObservedFailureEmitsErrorEvent(t *testing.T) {
+	bad := failingRule{}
+	sys, err := model.NewSystem([]model.LocalRule{bad, bad}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	o := obs.New(obs.NewRegistry(), obs.NewSink(&buf))
+	_, err = WinProbability(sys, Config{Trials: 100, Workers: 2, Seed: 1, Obs: o})
+	if !errors.Is(err, ErrRuleFailed) {
+		t.Fatalf("expected ErrRuleFailed, got %v", err)
+	}
+	if got := o.Counter("errors.sim.trial").Value(); got != 1 {
+		t.Errorf("errors.sim.trial = %d, want 1", got)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Type == obs.EventError && strings.Contains(ev.Msg, "injected decision fault") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no error event with the injected cause in the run log")
 	}
 }

@@ -6,14 +6,29 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
+
+// ErrRuleFailed classifies simulation failures caused by a player's rule
+// (or input sampler) returning an error mid-trial, as opposed to invalid
+// configuration. Callers and the observability event sink use
+// errors.Is(err, ErrRuleFailed) to tell the two apart; the original cause
+// stays in the chain.
+var ErrRuleFailed = errors.New("trial failed")
+
+// defaultCheckpoints is the number of convergence checkpoints emitted per
+// run when Config.CheckpointEvery is left zero.
+const defaultCheckpoints = 20
 
 // Config controls a simulation run.
 type Config struct {
@@ -25,6 +40,16 @@ type Config struct {
 	Workers int
 	// Seed seeds the per-worker random streams.
 	Seed uint64
+	// Obs optionally instruments the run: sim.trials / sim.wins /
+	// sim.rng_draws counters, per-worker throughput gauges, nested
+	// run → worker spans, and a convergence checkpoint trace. A nil
+	// Observer keeps the hot loop exactly as fast as the uninstrumented
+	// engine (a single branch per run, not per trial).
+	Obs *obs.Observer
+	// CheckpointEvery emits one convergence checkpoint (running estimate
+	// + Wilson CI) every k trials when Obs is enabled. 0 picks
+	// Trials/defaultCheckpoints; ignored without Obs.
+	CheckpointEvery int
 }
 
 func (c Config) validate() (Config, error) {
@@ -33,6 +58,9 @@ func (c Config) validate() (Config, error) {
 	}
 	if c.Workers < 0 {
 		return c, fmt.Errorf("sim: worker count %d must be non-negative", c.Workers)
+	}
+	if c.CheckpointEvery < 0 {
+		return c, fmt.Errorf("sim: checkpoint interval %d must be non-negative", c.CheckpointEvery)
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -43,13 +71,30 @@ func (c Config) validate() (Config, error) {
 	return c, nil
 }
 
-// workerRNG derives worker w's independent random stream.
-func (c Config) workerRNG(w int) *rand.Rand {
+// workerSource derives worker w's independent random stream.
+func (c Config) workerSource(w int) rand.Source {
 	// SplitMix-style stream separation: distinct, well-mixed PCG seeds.
 	s := c.Seed + 0x9e3779b97f4a7c15*uint64(w+1)
 	s ^= s >> 30
 	s *= 0xbf58476d1ce4e5b9
-	return rand.New(rand.NewPCG(s, s^0x94d049bb133111eb))
+	return rand.NewPCG(s, s^0x94d049bb133111eb)
+}
+
+func (c Config) workerRNG(w int) *rand.Rand {
+	return rand.New(c.workerSource(w))
+}
+
+// countingSource wraps a rand.Source to count draws for the sim.rng_draws
+// counter; it is only interposed when observability is enabled, so the
+// plain path never pays the indirection.
+type countingSource struct {
+	src rand.Source
+	n   int64
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
 }
 
 // Result summarizes a Bernoulli estimate (winning or feasibility
@@ -83,11 +128,21 @@ func resultFrom(p stats.Proportion) (Result, error) {
 // trialFunc plays one round and reports success.
 type trialFunc func(rng *rand.Rand) (bool, error)
 
-// runBernoulli fans trials out over workers and merges the counts.
-func runBernoulli(cfg Config, trial trialFunc) (Result, error) {
+// wrapTrialErr classifies a mid-trial failure under ErrRuleFailed while
+// keeping the cause in the chain.
+func wrapTrialErr(err error) error {
+	return fmt.Errorf("sim: %w: %w", ErrRuleFailed, err)
+}
+
+// runBernoulli fans trials out over workers and merges the counts. The
+// name labels the run's root span when observability is on.
+func runBernoulli(cfg Config, name string, trial trialFunc) (Result, error) {
 	cfg, err := cfg.validate()
 	if err != nil {
 		return Result{}, err
+	}
+	if cfg.Obs.Enabled() {
+		return runBernoulliObserved(cfg, name, trial)
 	}
 	counters := make([]stats.Proportion, cfg.Workers)
 	errs := make([]error, cfg.Workers)
@@ -116,7 +171,7 @@ func runBernoulli(cfg Config, trial trialFunc) (Result, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return Result{}, fmt.Errorf("sim: trial failed: %w", err)
+			return Result{}, wrapTrialErr(err)
 		}
 	}
 	var total stats.Proportion
@@ -126,13 +181,124 @@ func runBernoulli(cfg Config, trial trialFunc) (Result, error) {
 	return resultFrom(total)
 }
 
+// runBernoulliObserved is the instrumented twin of runBernoulli's fan-out:
+// same seeding, same per-worker quotas (so results are bit-identical with
+// and without observability), plus a root span with one child span per
+// worker, RNG-draw accounting, per-worker throughput gauges, and a
+// convergence checkpoint trace emitted every cfg.CheckpointEvery trials.
+func runBernoulliObserved(cfg Config, name string, trial trialFunc) (Result, error) {
+	o := cfg.Obs
+	root := o.StartSpan("sim." + name)
+	defer root.End()
+
+	every := int64(cfg.CheckpointEvery)
+	if every == 0 {
+		every = int64(cfg.Trials / defaultCheckpoints)
+		if every < 1 {
+			every = 1
+		}
+	}
+	var liveTrials, liveWins, rngDraws atomic.Int64
+	estHist := o.Histogram("sim.estimate", 0, 1, 20)
+
+	counters := make([]stats.Proportion, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	base := cfg.Trials / cfg.Workers
+	extra := cfg.Trials % cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		quota := base
+		if w < extra {
+			quota++
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			sp := root.Child(fmt.Sprintf("worker[%d]", w))
+			defer sp.End()
+			src := &countingSource{src: cfg.workerSource(w)}
+			rng := rand.New(src)
+			start := time.Now()
+			done := 0
+			for i := 0; i < quota; i++ {
+				ok, err := trial(rng)
+				if err != nil {
+					errs[w] = err
+					break
+				}
+				counters[w].Add(ok)
+				done++
+				if ok {
+					liveWins.Add(1)
+				}
+				if nt := liveTrials.Add(1); nt%every == 0 {
+					emitCheckpoint(o, liveWins.Load(), nt, estHist)
+				}
+			}
+			rngDraws.Add(src.n)
+			if el := time.Since(start).Seconds(); el > 0 && done > 0 {
+				o.Gauge(fmt.Sprintf("sim.worker.%d.trials_per_sec", w)).Set(float64(done) / el)
+			}
+		}(w, quota)
+	}
+	wg.Wait()
+
+	o.Counter("sim.runs").Inc()
+	o.Counter("sim.rng_draws").Add(rngDraws.Load())
+	var total stats.Proportion
+	for _, c := range counters {
+		total.Merge(c)
+	}
+	o.Counter("sim.trials").Add(total.Trials())
+	o.Counter("sim.wins").Add(total.Successes())
+	for _, err := range errs {
+		if err != nil {
+			err = wrapTrialErr(err)
+			o.EmitError("sim.trial", err)
+			return Result{}, err
+		}
+	}
+	return resultFrom(total)
+}
+
+// emitCheckpoint records one point of the convergence trace: the running
+// estimate with its Wilson interval at nt trials. Counter reads race
+// benignly with concurrent workers (the trace is diagnostic, the final
+// Result is exact), so the win count is clamped into [0, nt].
+func emitCheckpoint(o *obs.Observer, wins, nt int64, estHist *obs.Histogram) {
+	if wins > nt {
+		wins = nt
+	}
+	var p stats.Proportion
+	if err := p.AddN(wins, nt); err != nil {
+		return
+	}
+	est := p.Estimate()
+	lo, hi, err := p.WilsonCI(1.96)
+	if err != nil {
+		return
+	}
+	estHist.Observe(est)
+	o.Emit(obs.Event{
+		Type: obs.EventCheckpoint,
+		Name: "sim.convergence",
+		Attrs: map[string]float64{
+			"trials":   float64(nt),
+			"wins":     float64(wins),
+			"estimate": est,
+			"ci_lo":    lo,
+			"ci_hi":    hi,
+		},
+	})
+}
+
 // WinProbability estimates the winning probability P_A(δ) of the system by
 // playing cfg.Trials independent rounds.
 func WinProbability(sys *model.System, cfg Config) (Result, error) {
 	if sys == nil {
 		return Result{}, fmt.Errorf("sim: nil system")
 	}
-	return runBernoulli(cfg, func(rng *rand.Rand) (bool, error) {
+	return runBernoulli(cfg, "win_probability", func(rng *rand.Rand) (bool, error) {
 		inputs, err := sys.SampleInputs(rng)
 		if err != nil {
 			return false, err
@@ -159,7 +325,7 @@ func FeasibilityProbability(n int, capacity float64, cfg Config) (Result, error)
 	if !(capacity > 0) {
 		return Result{}, fmt.Errorf("sim: capacity %v must be strictly positive", capacity)
 	}
-	return runBernoulli(cfg, func(rng *rand.Rand) (bool, error) {
+	return runBernoulli(cfg, "feasibility", func(rng *rand.Rand) (bool, error) {
 		inputs := make([]float64, n)
 		for i := range inputs {
 			inputs[i] = rng.Float64()
@@ -182,6 +348,8 @@ func LoadStats(sys *model.System, cfg Config, metric func(model.Outcome) float64
 	if err != nil {
 		return stats.Running{}, err
 	}
+	root := cfg.Obs.StartSpan("sim.load_stats")
+	defer root.End()
 	accs := make([]stats.Running, cfg.Workers)
 	errs := make([]error, cfg.Workers)
 	var wg sync.WaitGroup
@@ -214,13 +382,16 @@ func LoadStats(sys *model.System, cfg Config, metric func(model.Outcome) float64
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return stats.Running{}, fmt.Errorf("sim: trial failed: %w", err)
+			err = wrapTrialErr(err)
+			cfg.Obs.EmitError("sim.trial", err)
+			return stats.Running{}, err
 		}
 	}
 	var total stats.Running
 	for _, a := range accs {
 		total.Merge(a)
 	}
+	cfg.Obs.Counter("sim.trials").Add(total.N())
 	return total, nil
 }
 
