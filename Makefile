@@ -1,6 +1,7 @@
 # Canonical developer entry points. `make ci` is the tier-1 gate recorded
 # in ROADMAP.md; the race target covers the concurrency-heavy packages
-# (the Monte-Carlo engine and the metrics/span layer it feeds).
+# (the Monte-Carlo engine, the metrics/span layer it feeds, and the
+# memoizing evaluation engine with its sharded sweeps).
 
 GO ?= go
 
@@ -13,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/obs/...
+	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/engine/...
 
 vet:
 	$(GO) vet ./...

@@ -29,7 +29,7 @@ import (
 // n = 3, 4, 5, δ = n/3).
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure1(201)
+		fig, err := harness.Figure1(harness.Params{Points: 201})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -43,7 +43,7 @@ func BenchmarkFigure1(b *testing.B) {
 // 5, δ = n/3).
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure2(201)
+		fig, err := harness.Figure2(harness.Params{Points: 201})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -57,7 +57,7 @@ func BenchmarkFigure2(b *testing.B) {
 // classes vs capacity at n = 4).
 func BenchmarkFigure3Crossover(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := harness.Figure3(4, 25)
+		fig, err := harness.Figure3(4, harness.Params{Points: 25})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,9 +70,9 @@ func BenchmarkFigure3Crossover(b *testing.B) {
 // BenchmarkTable5ValueOfInformation regenerates the T5 extension table
 // (PY91 communication ladder, simulated + tuned).
 func BenchmarkTable5ValueOfInformation(b *testing.B) {
-	cfg := sim.Config{Trials: 30_000, Seed: 1}
+	p := harness.Params{Sim: sim.Config{Trials: 30_000, Seed: 1}}
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.TableValueOfInformation(cfg); err != nil {
+		if _, err := harness.TableValueOfInformation(p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -91,9 +91,9 @@ func BenchmarkTable6BeyondThresholds(b *testing.B) {
 // BenchmarkTable7Asymptotics regenerates the T7 extension table (scaling
 // with n at δ = n/3).
 func BenchmarkTable7Asymptotics(b *testing.B) {
-	cfg := sim.Config{Trials: 20_000, Seed: 1}
+	p := harness.Params{Sim: sim.Config{Trials: 20_000, Seed: 1}}
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.TableAsymptotics([]int{2, 4, 8, 12, 16, 20, 24}, cfg); err != nil {
+		if _, err := harness.TableAsymptotics([]int{2, 4, 8, 12, 16, 20, 24}, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -104,7 +104,7 @@ func BenchmarkTable7Asymptotics(b *testing.B) {
 func BenchmarkTable1Oblivious(b *testing.B) {
 	ns := []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.TableOblivious(ns); err != nil {
+		if _, err := harness.TableOblivious(ns, harness.Params{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -142,9 +142,9 @@ func BenchmarkTable3CaseN4(b *testing.B) {
 // BenchmarkTable4Tradeoff regenerates T4 (knowledge/uniformity trade-off,
 // simulated feasibility column included).
 func BenchmarkTable4Tradeoff(b *testing.B) {
-	cfg := sim.Config{Trials: 100_000, Seed: 1}
+	p := harness.Params{Sim: sim.Config{Trials: 100_000, Seed: 1}}
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.TableTradeoff([]int{2, 3, 4, 5, 6}, cfg); err != nil {
+		if _, err := harness.TableTradeoff([]int{2, 3, 4, 5, 6}, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -152,9 +152,9 @@ func BenchmarkTable4Tradeoff(b *testing.B) {
 
 // BenchmarkValidationSweep regenerates V1 (every formula vs Monte-Carlo).
 func BenchmarkValidationSweep(b *testing.B) {
-	cfg := sim.Config{Trials: 100_000, Seed: 1}
+	p := harness.Params{Sim: sim.Config{Trials: 100_000, Seed: 1}}
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.TableValidation(cfg); err != nil {
+		if _, err := harness.TableValidation(p); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -32,6 +33,8 @@ func run(args []string) (err error) {
 	trials := fs.Int("trials", 400_000, "Monte-Carlo trials for simulated columns")
 	points := fs.Int("points", 201, "sweep points per figure curve")
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
+	backend := fs.String("backend", "auto", "evaluation backend: exact, mc or auto")
 	obsPath := fs.String("obs", "", "append a JSONL observability run log to this file")
 	metrics := fs.Bool("metrics", false, "print a JSON metrics snapshot on exit")
 	if err := fs.Parse(args); err != nil {
@@ -61,7 +64,16 @@ func run(args []string) (err error) {
 		}
 		o = obs.New(obs.NewRegistry(), sink)
 	}
-	cfg := sim.Config{Trials: *trials, Seed: *seed}
+	b, err := engine.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers, Obs: o}
+	// One shared engine so evaluations repeated across experiments (e.g. the
+	// same (n, δ, rule) point appearing in a figure and a table) are served
+	// from the memoization cache, and so -metrics shows one hit/miss tally.
+	eng := engine.New(engine.Config{Sim: cfg, Obs: o})
+	params := harness.Params{Points: *points, Sim: cfg, Backend: b, Engine: eng}
 	var summary strings.Builder
 	for _, id := range harness.IDs() {
 		exp, err := harness.Lookup(id)
@@ -69,7 +81,7 @@ func run(args []string) (err error) {
 			return err
 		}
 		fmt.Printf("=== %s: %s ===\n", exp.ID, exp.Title)
-		out, err := exp.Run(o, *points, cfg)
+		out, err := exp.Run(o, params)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

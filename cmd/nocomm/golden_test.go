@@ -1,0 +1,79 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected into a pipe and returns
+// everything the function printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	runErr := f()
+	w.Close()
+	out, readErr := io.ReadAll(r)
+	r.Close()
+	os.Stdout = orig
+	if runErr != nil {
+		t.Fatalf("run failed: %v\noutput so far:\n%s", runErr, out)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(out)
+}
+
+// TestTableGolden pins the rendered text of the paper tables byte-for-byte
+// against golden files generated from the pre-engine entry points. Any
+// drift in the numbers — however small — means an evaluation path changed
+// behavior, not just plumbing. The tradeoff table includes Monte-Carlo
+// columns, so its invocation pins trials, seed and worker count; the
+// lowercase ids double as coverage for the mnemonic alias resolution.
+func TestTableGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{"oblivious", []string{"table", "oblivious"}, "table_oblivious.golden"},
+		{"case-n3", []string{"table", "case-n3"}, "table_case_n3.golden"},
+		{"tradeoff", []string{"table", "tradeoff", "-trials", "20000", "-seed", "1", "-workers", "2"}, "table_tradeoff.golden"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", c.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := captureStdout(t, func() error { return run(c.args) })
+			if got != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", c.golden, got, want)
+			}
+		})
+	}
+}
+
+// TestTableGoldenBackendExact checks that forcing -backend exact matches
+// the auto default on an all-exact table (auto must resolve to exact).
+func TestTableGoldenBackendExact(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "table_oblivious.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := captureStdout(t, func() error {
+		return run([]string{"table", "oblivious", "-backend", "exact"})
+	})
+	if got != string(want) {
+		t.Errorf("-backend exact output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -5,14 +5,19 @@
 //
 // Usage:
 //
-//	nocomm eval     -n 3 -delta 1 -kind threshold -param 0.622
+//	nocomm eval     -n 3 -delta 1 -kind threshold -param 0.622 [-backend exact|mc|auto]
 //	nocomm optimize -n 3 -delta 1 -kind threshold
 //	nocomm simulate -n 3 -delta 1 -kind oblivious -param 0.5 -trials 1000000
 //	nocomm certify  -n 3 -delta 1
-//	nocomm figure   F1 [-points 201] [-svg f1.svg] [-csv f1.csv]
-//	nocomm table    T2 [-trials 200000] [-csv t2.csv]
+//	nocomm figure   F1 [-points 201] [-backend auto] [-svg f1.svg] [-csv f1.csv]
+//	nocomm table    T2 [-trials 200000] [-backend auto] [-csv t2.csv]
 //	nocomm metrics  run.jsonl
 //	nocomm list
+//
+// eval, figure and table route through the unified evaluation engine
+// (internal/engine): -backend selects exact closed forms, Monte-Carlo
+// simulation, or auto (exact when available). Figure and table ids accept
+// mnemonic aliases (`nocomm table oblivious` = T1), case-insensitively.
 //
 // Every workload subcommand also accepts the global observability flags
 // (before or after the subcommand name):
@@ -31,10 +36,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/nonoblivious"
 	"repro/internal/oblivious"
@@ -219,7 +224,15 @@ func cmdEval(g *obsFlags, args []string) (err error) {
 	n, delta := instanceFlags(fs)
 	kind := fs.String("kind", "threshold", "algorithm kind: threshold or oblivious")
 	param := fs.Float64("param", 0.5, "common threshold β (threshold) or bin-0 probability a (oblivious)")
+	backend := fs.String("backend", "exact", "evaluation backend: exact, mc or auto")
+	trials := fs.Int("trials", engine.DefaultTrials, "Monte-Carlo trials (mc backend)")
+	seed := fs.Uint64("seed", 1, "random seed (mc backend)")
+	workers := fs.Int("workers", 0, "parallel workers (mc backend, 0 = all cores)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := engine.ParseBackend(*backend)
+	if err != nil {
 		return err
 	}
 	sess, err := g.start()
@@ -231,21 +244,29 @@ func cmdEval(g *obsFlags, args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	sp := sess.observer.StartSpan("eval")
-	var p float64
+	var rule engine.Rule
 	switch *kind {
 	case "threshold":
-		p, err = inst.SymmetricThresholdWinProbability(*param)
+		rule = engine.SymmetricThreshold{Beta: *param}
 	case "oblivious":
-		p, err = inst.SymmetricObliviousWinProbability(*param)
+		rule = engine.SymmetricOblivious{A: *param}
 	default:
-		err = fmt.Errorf("unknown kind %q", *kind)
+		return fmt.Errorf("unknown kind %q", *kind)
 	}
+	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers, Obs: sess.observer}
+	eng := engine.New(engine.Config{Sim: cfg, Obs: sess.observer})
+	sp := sess.observer.StartSpan("eval")
+	res, err := eng.Evaluate(inst.EngineInstance(), rule, b)
 	sp.End()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("n=%d δ=%g %s(%g): P(win) = %.9f\n", *n, *delta, *kind, *param, p)
+	if res.Backend == engine.MonteCarlo {
+		fmt.Printf("n=%d δ=%g %s(%g): P(win) = %.9f ± %.6f (mc, %d trials)\n",
+			*n, *delta, *kind, *param, res.P, res.StdErr, res.Sim.Trials)
+	} else {
+		fmt.Printf("n=%d δ=%g %s(%g): P(win) = %.9f\n", *n, *delta, *kind, *param, res.P)
+	}
 	return nil
 }
 
@@ -384,15 +405,23 @@ func cmdSimulate(g *obsFlags, args []string) (err error) {
 
 func cmdFigure(g *obsFlags, args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("figure needs an id (F1 or F2)")
+		return fmt.Errorf("figure needs an id (F1, F2, F3) or alias (thresholds, coins, crossover)")
 	}
-	id := strings.ToUpper(args[0])
+	id := args[0]
 	fs := flag.NewFlagSet("figure", flag.ContinueOnError)
 	g.register(fs)
 	points := fs.Int("points", 201, "sweep points per curve")
+	backend := fs.String("backend", "auto", "evaluation backend: exact, mc or auto")
+	trials := fs.Int("trials", engine.DefaultTrials, "Monte-Carlo trials per point (mc backend)")
+	seed := fs.Uint64("seed", 1, "random seed (mc backend)")
+	workers := fs.Int("workers", 0, "sweep workers (0 = all cores)")
 	svgPath := fs.String("svg", "", "write SVG to this path")
 	csvPath := fs.String("csv", "", "write CSV to this path")
 	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	b, err := engine.ParseBackend(*backend)
+	if err != nil {
 		return err
 	}
 	sess, err := g.start()
@@ -407,7 +436,11 @@ func cmdFigure(g *obsFlags, args []string) (err error) {
 	if exp.Kind != harness.KindFigure {
 		return fmt.Errorf("%s is not a figure", id)
 	}
-	out, err := exp.Run(sess.observer, *points, sim.Config{Trials: 1, Seed: 1})
+	out, err := exp.Run(sess.observer, harness.Params{
+		Points:  *points,
+		Sim:     sim.Config{Trials: *trials, Seed: *seed, Workers: *workers},
+		Backend: b,
+	})
 	if err != nil {
 		return err
 	}
@@ -443,15 +476,21 @@ func cmdFigure(g *obsFlags, args []string) (err error) {
 
 func cmdTable(g *obsFlags, args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("table needs an id (T1, T2, T3, T4, V1)")
+		return fmt.Errorf("table needs an id (T1..T9, V1) or alias (oblivious, case-n3, tradeoff, ...)")
 	}
-	id := strings.ToUpper(args[0])
+	id := args[0]
 	fs := flag.NewFlagSet("table", flag.ContinueOnError)
 	g.register(fs)
 	trials := fs.Int("trials", 200_000, "Monte-Carlo trials for simulated columns")
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
+	backend := fs.String("backend", "auto", "evaluation backend: exact, mc or auto")
 	csvPath := fs.String("csv", "", "write CSV to this path")
 	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	b, err := engine.ParseBackend(*backend)
+	if err != nil {
 		return err
 	}
 	sess, err := g.start()
@@ -466,7 +505,10 @@ func cmdTable(g *obsFlags, args []string) (err error) {
 	if exp.Kind != harness.KindTable {
 		return fmt.Errorf("%s is not a table", id)
 	}
-	out, err := exp.Run(sess.observer, 0, sim.Config{Trials: *trials, Seed: *seed})
+	out, err := exp.Run(sess.observer, harness.Params{
+		Sim:     sim.Config{Trials: *trials, Seed: *seed, Workers: *workers},
+		Backend: b,
+	})
 	if err != nil {
 		return err
 	}

@@ -8,7 +8,9 @@
 // evaluates the optimal single threshold, the oblivious coin, and then
 // searches the two-interval family, discovering a MIDDLE-BAND rule
 // ("medium inputs left, small and large inputs right") that beats both.
-// The finding is cross-checked by Monte-Carlo simulation.
+// The winning rule is wrapped as an engine Rule so the same value flows
+// through both the exact oracle backend and an unbiased Monte-Carlo
+// cross-check.
 //
 // Run with: go run ./examples/beyond
 package main
@@ -18,9 +20,9 @@ import (
 	"log"
 	"math/big"
 
-	"repro/internal/model"
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/nonoblivious"
-	"repro/internal/oblivious"
 	"repro/internal/response"
 	"repro/internal/sim"
 )
@@ -31,25 +33,30 @@ func main() {
 
 	const n = 4
 	capacity := big.NewRat(4, 3)
-	cf := 4.0 / 3
+	inst, err := core.NewInstance(n, 4.0/3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("instance: n=%d, δ=4/3 (the paper's Section 5.2.2 case)\n\n", n)
+
+	eng := engine.New(engine.Config{Sim: sim.Config{Trials: 2_000_000, Seed: 404}})
+	ei := inst.EngineInstance()
 
 	// The paper's contenders.
 	thr, err := nonoblivious.OptimalSymmetric(n, capacity)
 	if err != nil {
 		log.Fatal(err)
 	}
-	coin, err := oblivious.Optimal(n, cf)
+	coin, err := eng.Evaluate(ei, engine.SymmetricOblivious{A: 0.5}, engine.Exact)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("optimal single threshold (paper §5.2.2): β* = %.4f  P = %.6f\n",
 		thr.BetaFloat, thr.WinProbabilityFloat)
-	fmt.Printf("oblivious fair coin (paper Thm 4.3):              P = %.6f\n\n",
-		coin.WinProbability)
+	fmt.Printf("oblivious fair coin (paper Thm 4.3):              P = %.6f\n\n", coin.P)
 
 	// Search the two-interval family with the convolution oracle.
-	ev, err := response.NewEvaluator(n, cf, 1024)
+	ev, err := response.NewEvaluator(n, 4.0/3, 1024)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,23 +68,17 @@ func main() {
 	fmt.Printf("best rule found: bin 0 when x ∈ %s,  P ≈ %.6f\n\n", best.Set, best.WinProbability)
 
 	// Verify by simulation: the oracle is O(1/grid²)-approximate, the
-	// simulator is unbiased.
-	rule, err := best.Set.Rule("band")
+	// simulator is unbiased. The same IntervalRule value drives both
+	// backends — only the backend argument changes.
+	band := engine.IntervalRule{Set: best.Set, Grid: 1024}
+	res, err := eng.Evaluate(ei, band, engine.MonteCarlo)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := model.UniformSystem(n, rule, cf)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := sim.WinProbability(sys, sim.Config{Trials: 2_000_000, Seed: 404})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("simulation check: P = %.6f ± %.6f over %d rounds\n\n", res.P, res.StdErr, res.Trials)
+	fmt.Printf("simulation check: P = %.6f ± %.6f over %d rounds\n\n", res.P, res.StdErr, res.Sim.Trials)
 
 	switch {
-	case res.P > coin.WinProbability && res.P > thr.WinProbabilityFloat:
+	case res.P > coin.P && res.P > thr.WinProbabilityFloat:
 		fmt.Println("=> the middle-band rule beats BOTH of the paper's algorithm classes:")
 		fmt.Println("   single-threshold rules are not optimal in the full Section 3 model.")
 		fmt.Println("   Intuition: sending mid-sized inputs to one bin concentrates that bin's")

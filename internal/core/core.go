@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/big"
 
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/nonoblivious"
 	"repro/internal/oblivious"
@@ -77,19 +78,33 @@ func (inst Instance) DeltaRat() (r *big.Rat, ok bool) {
 	return r, true
 }
 
+// EngineInstance converts the instance to the evaluation engine's type.
+func (inst Instance) EngineInstance() engine.Instance {
+	return engine.Instance{N: inst.N, Delta: inst.Delta}
+}
+
+// Evaluate runs an arbitrary engine rule on this instance through the
+// shared memoizing engine — the uniform entry point behind the per-class
+// helpers below, and the one to use for cross-class comparisons.
+func (inst Instance) Evaluate(r engine.Rule, backend engine.Backend) (engine.Result, error) {
+	return engine.Default().Evaluate(inst.EngineInstance(), r, backend)
+}
+
 // ObliviousWinProbability evaluates Theorem 4.1 for a general probability
 // vector (alphas[i] = P(player i chooses bin 0)).
 func (inst Instance) ObliviousWinProbability(alphas []float64) (float64, error) {
 	if len(alphas) != inst.N {
 		return 0, fmt.Errorf("core: %d probabilities for %d players", len(alphas), inst.N)
 	}
-	return oblivious.WinningProbability(alphas, inst.Delta)
+	res, err := inst.Evaluate(engine.Oblivious{Alphas: alphas}, engine.Exact)
+	return res.P, err
 }
 
 // SymmetricObliviousWinProbability evaluates Theorem 4.1 when every player
 // plays bin 0 with the same probability a (the Figure 2 curve).
 func (inst Instance) SymmetricObliviousWinProbability(a float64) (float64, error) {
-	return oblivious.SymmetricWinningProbability(inst.N, inst.Delta, a)
+	res, err := inst.Evaluate(engine.SymmetricOblivious{A: a}, engine.Exact)
+	return res.P, err
 }
 
 // ThresholdWinProbability evaluates Theorem 5.1 for a general threshold
@@ -98,13 +113,15 @@ func (inst Instance) ThresholdWinProbability(thresholds []float64) (float64, err
 	if len(thresholds) != inst.N {
 		return 0, fmt.Errorf("core: %d thresholds for %d players", len(thresholds), inst.N)
 	}
-	return nonoblivious.WinningProbability(thresholds, inst.Delta)
+	res, err := inst.Evaluate(engine.Threshold{Thresholds: thresholds}, engine.Exact)
+	return res.P, err
 }
 
 // SymmetricThresholdWinProbability evaluates Theorem 5.1 when every player
 // uses the common threshold β (the Figure 1 curve).
 func (inst Instance) SymmetricThresholdWinProbability(beta float64) (float64, error) {
-	return nonoblivious.SymmetricWinningProbability(inst.N, inst.Delta, beta)
+	res, err := inst.Evaluate(engine.SymmetricThreshold{Beta: beta}, engine.Exact)
+	return res.P, err
 }
 
 // OptimalOblivious returns the Theorem 4.3 optimum (α = 1/2 uniformly; see
@@ -156,21 +173,26 @@ func (inst Instance) ThresholdSystem(beta float64) (*model.System, error) {
 // by simulation; it is the empirical counterpart of
 // SymmetricThresholdWinProbability.
 func (inst Instance) SimulateThreshold(beta float64, cfg sim.Config) (sim.Result, error) {
-	sys, err := inst.ThresholdSystem(beta)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return sim.WinProbability(sys, cfg)
+	return inst.simulate(engine.SymmetricThreshold{Beta: beta}, cfg)
 }
 
 // SimulateOblivious estimates the symmetric-oblivious winning probability
 // by simulation.
 func (inst Instance) SimulateOblivious(a float64, cfg sim.Config) (sim.Result, error) {
-	sys, err := inst.ObliviousSystem(a)
+	return inst.simulate(engine.SymmetricOblivious{A: a}, cfg)
+}
+
+// simulate routes a Monte-Carlo run through the shared engine (memoized on
+// the rule and the (Trials, Seed, Workers) triple).
+func (inst Instance) simulate(r engine.Rule, cfg sim.Config) (sim.Result, error) {
+	if cfg.Trials <= 0 {
+		return sim.Result{}, fmt.Errorf("core: trial count %d must be positive", cfg.Trials)
+	}
+	res, err := engine.Default().EvaluateWith(inst.EngineInstance(), r, engine.MonteCarlo, cfg)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.WinProbability(sys, cfg)
+	return *res.Sim, nil
 }
 
 // FeasibilityUpperBound estimates the omniscient benchmark: the

@@ -1,0 +1,314 @@
+// Package engine is the unified evaluation service of the reproduction:
+// one Rule abstraction covering every algorithm class the repo analyses
+// (oblivious coins, single thresholds, interval-set response rules, one-bit
+// communication protocols, and the PY91 baseline), evaluated on any
+// instance through pluggable backends.
+//
+// Three backends are provided:
+//
+//   - Exact — the per-class analytic oracle (Theorem 4.1 for oblivious
+//     rules, Theorem 5.1 for thresholds, the grid-convolution oracle for
+//     interval sets, the conditioned interval-pair evaluation for one-bit
+//     protocols, closed form or quadrature for PY91 protocols);
+//   - MonteCarlo — the sim package's deterministic parallel estimator;
+//   - Auto — exact when the rule has an exact evaluator, simulation
+//     otherwise.
+//
+// Every evaluation is memoized behind a concurrency-safe cache keyed on
+// (instance, rule fingerprint, resolved backend, backend tolerance), with
+// hit/miss counters registered in the internal/obs registry, and Sweep
+// shards whole parameter grids across workers. The engine is the seam the
+// layers above share: core delegates its per-class methods here, harness
+// experiments build rule sets instead of bespoke closures, and both CLIs
+// expose the backend choice as a flag.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Instance is one distributed decision-making problem: N players with
+// U[0,1] inputs and two bins of capacity Delta. It mirrors core.Instance
+// (core sits above the engine and converts trivially).
+type Instance struct {
+	// N is the number of players (n ≥ 2).
+	N int
+	// Delta is the bin capacity (the paper's δ > 0).
+	Delta float64
+}
+
+// Validate checks the instance.
+func (inst Instance) Validate() error {
+	if inst.N < 2 {
+		return fmt.Errorf("engine: need at least 2 players, got %d", inst.N)
+	}
+	if !(inst.Delta > 0) || math.IsInf(inst.Delta, 1) {
+		return fmt.Errorf("engine: capacity %v must be strictly positive and finite", inst.Delta)
+	}
+	return nil
+}
+
+// key is the instance's canonical cache-key component; the capacity is
+// keyed by its exact bit pattern so nearby floats never collide.
+func (inst Instance) key() string {
+	return "n=" + strconv.Itoa(inst.N) + "|d=" + strconv.FormatUint(math.Float64bits(inst.Delta), 16)
+}
+
+// Backend selects how a rule is evaluated.
+type Backend int
+
+// The three backends.
+const (
+	// Auto picks Exact when the rule implements ExactEvaluator and falls
+	// back to MonteCarlo otherwise.
+	Auto Backend = iota
+	// Exact evaluates through the rule's analytic oracle.
+	Exact
+	// MonteCarlo estimates by simulation (sim.WinProbability for rules
+	// with a local-rule system, the rule's own simulator otherwise).
+	MonteCarlo
+)
+
+// String returns "auto", "exact" or "mc".
+func (b Backend) String() string {
+	switch b {
+	case Auto:
+		return "auto"
+	case Exact:
+		return "exact"
+	case MonteCarlo:
+		return "mc"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// ParseBackend parses the CLI spelling of a backend: exact, mc (or
+// montecarlo), auto.
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return Auto, nil
+	case "exact":
+		return Exact, nil
+	case "mc", "montecarlo", "monte-carlo", "sim":
+		return MonteCarlo, nil
+	default:
+		return Auto, fmt.Errorf("engine: unknown backend %q (want exact, mc or auto)", s)
+	}
+}
+
+// Result is one evaluated winning probability.
+type Result struct {
+	// P is the winning probability (exact value or simulation estimate).
+	P float64
+	// StdErr is the estimate's standard error (0 for exact backends).
+	StdErr float64
+	// Backend is the backend that actually ran (Exact or MonteCarlo,
+	// never Auto).
+	Backend Backend
+	// Cached reports whether the value was served from the memoization
+	// cache rather than recomputed.
+	Cached bool
+	// Sim holds the full simulation result when Backend == MonteCarlo.
+	Sim *sim.Result
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Sim is the default Monte-Carlo configuration used by Evaluate when
+	// the caller does not supply one. A zero Trials selects
+	// DefaultTrials.
+	Sim sim.Config
+	// Obs optionally registers the engine's cache hit/miss and
+	// per-backend evaluation counters (engine.cache.hits,
+	// engine.cache.misses, engine.evals.exact, engine.evals.mc).
+	Obs *obs.Observer
+}
+
+// DefaultTrials is the Monte-Carlo trial count used when neither the
+// engine's Config nor the caller specifies one.
+const DefaultTrials = 200_000
+
+// Engine evaluates rules on instances through pluggable backends behind a
+// concurrency-safe memoization cache. The zero value is not usable; use
+// New.
+type Engine struct {
+	simCfg sim.Config
+	obs    *obs.Observer
+
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// entry is one cache slot. The sync.Once gives singleflight semantics:
+// concurrent identical evaluations share one computation, and every later
+// caller observes the same bits.
+type entry struct {
+	once sync.Once
+	res  Result
+	err  error
+}
+
+// New builds an engine.
+func New(cfg Config) *Engine {
+	if cfg.Sim.Trials <= 0 {
+		cfg.Sim.Trials = DefaultTrials
+	}
+	return &Engine{simCfg: cfg.Sim, obs: cfg.Obs, entries: make(map[string]*entry)}
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide shared engine (no observability, the
+// DefaultTrials Monte-Carlo configuration). core's per-class methods
+// delegate through it, so repeated evaluations of the same rule anywhere
+// in the process hit one shared cache.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New(Config{}) })
+	return defaultEngine
+}
+
+// SimConfig returns the engine's default Monte-Carlo configuration.
+func (e *Engine) SimConfig() sim.Config { return e.simCfg }
+
+// CacheLen reports the number of memoized evaluations.
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.entries)
+}
+
+// Evaluate evaluates the rule on the instance with the engine's default
+// Monte-Carlo configuration.
+func (e *Engine) Evaluate(inst Instance, r Rule, backend Backend) (Result, error) {
+	return e.EvaluateWith(inst, r, backend, e.simCfg)
+}
+
+// EvaluateWith evaluates the rule on the instance, using simCfg when the
+// resolved backend is MonteCarlo. Results are memoized: the cache key is
+// (instance, rule fingerprint, resolved backend, backend tolerance), where
+// the tolerance is the (Trials, Seed, Workers) triple for Monte-Carlo —
+// the knobs that change the returned bits — and is empty for Exact
+// (rule-level tolerances such as oracle grids are part of the
+// fingerprint). Observability settings are deliberately NOT part of the
+// key: they never change the result, but a cache hit skips the simulation
+// and therefore re-emits no convergence events.
+func (e *Engine) EvaluateWith(inst Instance, r Rule, backend Backend, simCfg sim.Config) (Result, error) {
+	if r == nil {
+		return Result{}, fmt.Errorf("engine: nil rule")
+	}
+	if err := inst.Validate(); err != nil {
+		return Result{}, err
+	}
+	resolved, err := e.resolve(r, backend)
+	if err != nil {
+		return Result{}, err
+	}
+	if simCfg.Trials <= 0 {
+		simCfg = e.simCfg
+	}
+	key := inst.key() + "|r=" + r.Fingerprint() + "|b=" + resolved.String()
+	if resolved == MonteCarlo {
+		key += "|t=" + strconv.Itoa(simCfg.Trials) +
+			",s=" + strconv.FormatUint(simCfg.Seed, 10) +
+			",w=" + strconv.Itoa(simCfg.Workers)
+	}
+
+	e.mu.Lock()
+	ent, ok := e.entries[key]
+	if !ok {
+		ent = &entry{}
+		e.entries[key] = ent
+	}
+	e.mu.Unlock()
+
+	computed := false
+	ent.once.Do(func() {
+		computed = true
+		e.obs.Counter("engine.cache.misses").Inc()
+		ent.res, ent.err = e.compute(inst, r, resolved, simCfg)
+	})
+	if ent.err != nil {
+		return Result{}, ent.err
+	}
+	res := ent.res
+	if res.Sim != nil {
+		cp := *res.Sim
+		res.Sim = &cp
+	}
+	if !computed {
+		e.obs.Counter("engine.cache.hits").Inc()
+		res.Cached = true
+	}
+	return res, nil
+}
+
+// resolve maps Auto onto a concrete backend and rejects impossible
+// requests early (Exact on a rule without an exact oracle).
+func (e *Engine) resolve(r Rule, backend Backend) (Backend, error) {
+	switch backend {
+	case Exact:
+		if _, ok := r.(ExactEvaluator); !ok {
+			return 0, fmt.Errorf("engine: rule %s has no exact evaluator", r.Name())
+		}
+		return Exact, nil
+	case MonteCarlo:
+		return MonteCarlo, nil
+	case Auto:
+		if _, ok := r.(ExactEvaluator); ok {
+			return Exact, nil
+		}
+		return MonteCarlo, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown backend %d", int(backend))
+	}
+}
+
+// compute runs one uncached evaluation on the resolved backend.
+func (e *Engine) compute(inst Instance, r Rule, backend Backend, simCfg sim.Config) (Result, error) {
+	switch backend {
+	case Exact:
+		e.obs.Counter("engine.evals.exact").Inc()
+		p, err := r.(ExactEvaluator).ExactWinProbability(inst)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{P: p, Backend: Exact}, nil
+	case MonteCarlo:
+		e.obs.Counter("engine.evals.mc").Inc()
+		res, err := e.simulate(inst, r, simCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{P: res.P, StdErr: res.StdErr, Backend: MonteCarlo, Sim: &res}, nil
+	default:
+		return Result{}, fmt.Errorf("engine: unresolved backend %v", backend)
+	}
+}
+
+// simulate runs the Monte-Carlo backend: rules with their own simulator
+// (protocols whose trial logic cannot be expressed as per-player local
+// rules) take precedence; everything else builds a model.System and runs
+// through sim.WinProbability — bit-identical to calling the simulator
+// directly.
+func (e *Engine) simulate(inst Instance, r Rule, simCfg sim.Config) (sim.Result, error) {
+	if s, ok := r.(Simulator); ok {
+		return s.Simulate(inst, simCfg)
+	}
+	sys, err := r.System(inst)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.WinProbability(sys, simCfg)
+}

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Point is one cell of a sweep: a rule evaluated on an instance. Sweeps
+// over a parameter (the Figure 1 β grid, the Figure 2 α grid) hold the
+// instance fixed and vary the rule; sweeps over δ (Figure 3) vary the
+// instance too.
+type Point struct {
+	// Instance is the problem the rule plays on.
+	Instance Instance
+	// Rule is the rule to evaluate.
+	Rule Rule
+}
+
+// SweepOptions configures Engine.Sweep.
+type SweepOptions struct {
+	// Backend selects the backend for every point (Auto resolves per
+	// rule).
+	Backend Backend
+	// Workers is the sharding width; 0 selects the repo-wide default
+	// (GOMAXPROCS, clamped to the point count) via sim.WorkerCount.
+	Workers int
+	// Sim overrides the engine's Monte-Carlo configuration for points
+	// that resolve to the MonteCarlo backend; zero Trials keeps the
+	// engine default.
+	Sim sim.Config
+}
+
+// Sweep evaluates every point, sharding the grid across workers with an
+// atomic cursor (no per-worker slab imbalance: each worker pulls the next
+// unclaimed index). Results align with points; every point's result is
+// memoized individually, so a repeated sweep — or a sweep overlapping an
+// earlier one — is served from cache. On failure the error of the
+// lowest-indexed failing point is returned, independent of scheduling.
+func (e *Engine) Sweep(points []Point, opts SweepOptions) ([]Result, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	workers, err := sim.WorkerCount(opts.Workers, len(points))
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	results := make([]Result, len(points))
+	errs := make([]error, len(points))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				results[i], errs[i] = e.EvaluateWith(points[i].Instance, points[i].Rule, opts.Backend, opts.Sim)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: sweep point %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

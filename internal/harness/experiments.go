@@ -6,89 +6,102 @@ import (
 	"math/big"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/nonoblivious"
 	"repro/internal/oblivious"
 	"repro/internal/plot"
 	"repro/internal/py91"
-	"repro/internal/sim"
 )
 
 // FigureNs are the instance sizes shown in the paper's figures ("the
 // winning probabilities for n = 3, n = 4 and n = 5").
 var FigureNs = []int{3, 4, 5}
 
+// figureSweep renders one figure: for each n in FigureNs it evaluates the
+// rule family over a [0, 1] parameter grid through one sharded engine
+// sweep (all curves in a single call, memoized per point).
+func figureSweep(p Params, rule func(x float64) engine.Rule) ([]plot.Series, error) {
+	if p.Points < 2 {
+		return nil, fmt.Errorf("harness: figure needs at least 2 points, got %d", p.Points)
+	}
+	var points []engine.Point
+	var xs []float64
+	for _, n := range FigureNs {
+		inst, err := core.PaperInstance(n)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < p.Points; i++ {
+			x := float64(i) / float64(p.Points-1)
+			points = append(points, engine.Point{Instance: inst.EngineInstance(), Rule: rule(x)})
+			xs = append(xs, x)
+		}
+	}
+	results, err := p.engine().Sweep(points, engine.SweepOptions{
+		Backend: p.Backend, Workers: p.Sim.Workers, Sim: p.Sim,
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make([]plot.Series, len(FigureNs))
+	for j, n := range FigureNs {
+		s := plot.Series{Name: fmt.Sprintf("n=%d", n)}
+		for i := 0; i < p.Points; i++ {
+			k := j*p.Points + i
+			s.X = append(s.X, xs[k])
+			s.Y = append(s.Y, results[k].P)
+		}
+		series[j] = s
+	}
+	return series, nil
+}
+
 // Figure1 reproduces Figure 1: the winning probability of the symmetric
 // single-threshold (non-oblivious) algorithm as a function of the common
 // threshold β, for n = 3, 4, 5 with the paper's capacity scaling δ = n/3.
-// points is the number of sweep points per curve (≥ 2).
-func Figure1(points int) (Figure, error) {
-	if points < 2 {
-		return Figure{}, fmt.Errorf("harness: figure needs at least 2 points, got %d", points)
+// p.Points is the number of sweep points per curve (≥ 2).
+func Figure1(p Params) (Figure, error) {
+	series, err := figureSweep(p, func(beta float64) engine.Rule {
+		return engine.SymmetricThreshold{Beta: beta}
+	})
+	if err != nil {
+		return Figure{}, err
 	}
-	fig := Figure{
+	return Figure{
 		ID:     "F1",
 		Title:  "Non-oblivious winning probability vs threshold (δ = n/3)",
 		XLabel: "threshold β",
 		YLabel: "P(win)",
-	}
-	for _, n := range FigureNs {
-		inst, err := core.PaperInstance(n)
-		if err != nil {
-			return Figure{}, err
-		}
-		s := plot.Series{Name: fmt.Sprintf("n=%d", n)}
-		for i := 0; i < points; i++ {
-			beta := float64(i) / float64(points-1)
-			p, err := inst.SymmetricThresholdWinProbability(beta)
-			if err != nil {
-				return Figure{}, err
-			}
-			s.X = append(s.X, beta)
-			s.Y = append(s.Y, p)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+		Series: series,
+	}, nil
 }
 
 // Figure2 reproduces Figure 2: the winning probability of the symmetric
 // oblivious algorithm as a function of the common bin-0 probability a, for
 // n = 3, 4, 5 with δ = n/3. The maximum sits at a = 1/2 for every n
 // (Theorem 4.3's uniformity), in contrast with Figure 1's moving optimum.
-func Figure2(points int) (Figure, error) {
-	if points < 2 {
-		return Figure{}, fmt.Errorf("harness: figure needs at least 2 points, got %d", points)
+func Figure2(p Params) (Figure, error) {
+	series, err := figureSweep(p, func(a float64) engine.Rule {
+		return engine.SymmetricOblivious{A: a}
+	})
+	if err != nil {
+		return Figure{}, err
 	}
-	fig := Figure{
+	return Figure{
 		ID:     "F2",
 		Title:  "Oblivious winning probability vs coin bias (δ = n/3)",
 		XLabel: "P(bin 0) = a",
 		YLabel: "P(win)",
-	}
-	for _, n := range FigureNs {
-		inst, err := core.PaperInstance(n)
-		if err != nil {
-			return Figure{}, err
-		}
-		s := plot.Series{Name: fmt.Sprintf("n=%d", n)}
-		for i := 0; i < points; i++ {
-			a := float64(i) / float64(points-1)
-			p, err := inst.SymmetricObliviousWinProbability(a)
-			if err != nil {
-				return Figure{}, err
-			}
-			s.X = append(s.X, a)
-			s.Y = append(s.Y, p)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+		Series: series,
+	}, nil
 }
 
 // TableOblivious builds T1: the Theorem 4.3 optimal (symmetric) oblivious
 // algorithm per instance size, for δ = 1 and δ = n/3, next to the
-// deterministic vertex optimum this reproduction documents.
-func TableOblivious(ns []int) (Table, error) {
+// deterministic vertex optimum this reproduction documents. The two P(win)
+// columns are evaluated through the engine; the best-split argmax comes
+// from the oblivious optimizer.
+func TableOblivious(ns []int, p Params) (Table, error) {
 	if len(ns) == 0 {
 		return Table{}, fmt.Errorf("harness: empty instance list")
 	}
@@ -101,13 +114,15 @@ func TableOblivious(ns []int) (Table, error) {
 			"The balanced deterministic split (a hypercube vertex) exceeds the α=1/2 value because the winning probability is multilinear in α; see EXPERIMENTS.md.",
 		},
 	}
+	eng := p.engine()
 	for _, n := range ns {
 		deltas := []float64{1, float64(n) / 3}
 		if n == 3 {
 			deltas = deltas[:1] // n/3 coincides with δ=1
 		}
 		for _, delta := range deltas {
-			opt, err := oblivious.Optimal(n, delta)
+			inst := engine.Instance{N: n, Delta: delta}
+			half, err := eng.Evaluate(inst, engine.SymmetricOblivious{A: 0.5}, p.Backend)
 			if err != nil {
 				return Table{}, err
 			}
@@ -115,12 +130,16 @@ func TableOblivious(ns []int) (Table, error) {
 			if err != nil {
 				return Table{}, err
 			}
+			split, err := eng.Evaluate(inst, engine.DeterministicSplit{K: n - det.Bin1Count}, p.Backend)
+			if err != nil {
+				return Table{}, err
+			}
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("%d", n),
 				fmt.Sprintf("%.4f", delta),
 				"0.5",
-				fmt.Sprintf("%.6f", opt.WinProbability),
-				fmt.Sprintf("%.6f", det.WinProbability),
+				fmt.Sprintf("%.6f", half.P),
+				fmt.Sprintf("%.6f", split.P),
 				fmt.Sprintf("%d/%d", det.Bin1Count, n),
 			})
 		}
@@ -184,7 +203,7 @@ func TableCaseN4() (Table, error) {
 // TableTradeoff builds T4: the knowledge/uniformity trade-off across
 // instance sizes with δ = n/3 — oblivious (symmetric and deterministic),
 // optimal threshold, and the omniscient feasibility bound.
-func TableTradeoff(ns []int, cfg sim.Config) (Table, error) {
+func TableTradeoff(ns []int, p Params) (Table, error) {
 	if len(ns) == 0 {
 		return Table{}, fmt.Errorf("harness: empty instance list")
 	}
@@ -198,7 +217,7 @@ func TableTradeoff(ns []int, cfg sim.Config) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		row, err := inst.ComputeTradeoff(cfg)
+		row, err := inst.ComputeTradeoff(p.Sim)
 		if err != nil {
 			return Table{}, err
 		}
@@ -218,17 +237,20 @@ func TableTradeoff(ns []int, cfg sim.Config) (Table, error) {
 
 // TableValidation builds V1: every analytic winning probability checked
 // against Monte-Carlo simulation, reporting the deviation in standard
-// errors.
-func TableValidation(cfg sim.Config) (Table, error) {
+// errors. Both columns flow through the engine — the exact backend for the
+// analytic value, the Monte-Carlo backend for the estimate — so this table
+// is also the end-to-end check of the engine's backend plumbing.
+func TableValidation(p Params) (Table, error) {
 	t := Table{
 		ID:      "V1",
 		Title:   "Exact formulas vs Monte-Carlo simulation",
 		Columns: []string{"instance", "algorithm", "exact", "simulated", "std err", "|z|"},
 	}
+	eng := p.engine()
 	type check struct {
 		label, algo string
-		exact       float64
-		simulated   sim.Result
+		inst        engine.Instance
+		rule        engine.Rule
 	}
 	var checks []check
 	for _, n := range FigureNs {
@@ -237,54 +259,35 @@ func TableValidation(cfg sim.Config) (Table, error) {
 			return Table{}, err
 		}
 		label := fmt.Sprintf("n=%d δ=%.3f", n, inst.Delta)
-		// Oblivious at 1/2.
-		exact, err := inst.SymmetricObliviousWinProbability(0.5)
-		if err != nil {
-			return Table{}, err
-		}
-		res, err := inst.SimulateOblivious(0.5, cfg)
-		if err != nil {
-			return Table{}, err
-		}
-		checks = append(checks, check{label, "oblivious a=0.5", exact, res})
-		// Threshold at the certified optimum.
+		checks = append(checks, check{label, "oblivious a=0.5", inst.EngineInstance(), engine.SymmetricOblivious{A: 0.5}})
 		opt, err := inst.OptimalThreshold()
 		if err != nil {
 			return Table{}, err
 		}
-		exact2, err := inst.SymmetricThresholdWinProbability(opt.BetaFloat)
-		if err != nil {
-			return Table{}, err
-		}
-		res2, err := inst.SimulateThreshold(opt.BetaFloat, cfg)
-		if err != nil {
-			return Table{}, err
-		}
-		checks = append(checks, check{label, fmt.Sprintf("threshold β*=%.4f", opt.BetaFloat), exact2, res2})
+		checks = append(checks, check{label, fmt.Sprintf("threshold β*=%.4f", opt.BetaFloat),
+			inst.EngineInstance(), engine.SymmetricThreshold{Beta: opt.BetaFloat}})
 	}
-	// PY91 conjectured protocol.
-	proto := py91.ConjecturedOptimal()
-	exact, err := proto.ExactWinProbability()
-	if err != nil {
-		return Table{}, err
-	}
-	ev, err := py91.Evaluate(proto, py91.SimConfig{Trials: cfg.Trials, Workers: cfg.Workers, Seed: cfg.Seed})
-	if err != nil {
-		return Table{}, err
-	}
-	checks = append(checks, check{"n=3 δ=1", "PY91 conjectured", exact,
-		sim.Result{P: ev.P, StdErr: ev.StdErr, Trials: ev.Trials}})
+	checks = append(checks, check{"n=3 δ=1", "PY91 conjectured",
+		engine.Instance{N: py91.Players, Delta: py91.Capacity}, engine.PY91Rule{Protocol: py91.ConjecturedOptimal()}})
 
 	for _, c := range checks {
+		exact, err := eng.Evaluate(c.inst, c.rule, engine.Exact)
+		if err != nil {
+			return Table{}, err
+		}
+		mc, err := eng.EvaluateWith(c.inst, c.rule, engine.MonteCarlo, p.Sim)
+		if err != nil {
+			return Table{}, err
+		}
 		z := math.Inf(1)
-		if c.simulated.StdErr > 0 {
-			z = math.Abs(c.simulated.P-c.exact) / c.simulated.StdErr
+		if mc.StdErr > 0 {
+			z = math.Abs(mc.P-exact.P) / mc.StdErr
 		}
 		t.Rows = append(t.Rows, []string{
 			c.label, c.algo,
-			fmt.Sprintf("%.6f", c.exact),
-			fmt.Sprintf("%.6f", c.simulated.P),
-			fmt.Sprintf("%.6f", c.simulated.StdErr),
+			fmt.Sprintf("%.6f", exact.P),
+			fmt.Sprintf("%.6f", mc.P),
+			fmt.Sprintf("%.6f", mc.StdErr),
 			fmt.Sprintf("%.2f", z),
 		})
 	}

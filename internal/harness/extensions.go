@@ -5,6 +5,7 @@ import (
 	"math/big"
 
 	"repro/internal/comm"
+	"repro/internal/engine"
 	"repro/internal/nonoblivious"
 	"repro/internal/oblivious"
 	"repro/internal/optimize"
@@ -21,12 +22,12 @@ import (
 // where knowledge of the input wins and where it does not (at n = 4 the
 // coin overtakes the threshold optimum around δ ≈ 4/3, the paper's own
 // operating point).
-func Figure3(n int, points int) (Figure, error) {
+func Figure3(n int, p Params) (Figure, error) {
 	if n < 2 {
 		return Figure{}, fmt.Errorf("harness: need at least 2 players, got %d", n)
 	}
-	if points < 2 {
-		return Figure{}, fmt.Errorf("harness: figure needs at least 2 points, got %d", points)
+	if p.Points < 2 {
+		return Figure{}, fmt.Errorf("harness: figure needs at least 2 points, got %d", p.Points)
 	}
 	fig := Figure{
 		ID:     "F3",
@@ -42,10 +43,13 @@ func Figure3(n int, points int) (Figure, error) {
 	const denom = 24
 	lo := n * denom / 6
 	hi := n * denom / 2
-	step := (hi - lo) / (points - 1)
+	step := (hi - lo) / (p.Points - 1)
 	if step < 1 {
 		step = 1
 	}
+	// The two optimizer series walk the grid directly; the coin series is
+	// a varying-instance engine sweep (one rule, many δ).
+	var coinPoints []engine.Point
 	for num := lo; num <= hi; num += step {
 		delta := big.NewRat(int64(num), denom)
 		df, _ := delta.Float64()
@@ -53,20 +57,28 @@ func Figure3(n int, points int) (Figure, error) {
 		if err != nil {
 			return Figure{}, err
 		}
-		obl, err := oblivious.Optimal(n, df)
-		if err != nil {
-			return Figure{}, err
-		}
 		det, err := oblivious.OptimalDeterministic(n, df)
 		if err != nil {
 			return Figure{}, err
 		}
+		coinPoints = append(coinPoints, engine.Point{
+			Instance: engine.Instance{N: n, Delta: df},
+			Rule:     engine.SymmetricOblivious{A: 0.5},
+		})
 		threshold.X = append(threshold.X, df)
 		threshold.Y = append(threshold.Y, opt.WinProbabilityFloat)
 		coin.X = append(coin.X, df)
-		coin.Y = append(coin.Y, obl.WinProbability)
 		split.X = append(split.X, df)
 		split.Y = append(split.Y, det.WinProbability)
+	}
+	coinRes, err := p.engine().Sweep(coinPoints, engine.SweepOptions{
+		Backend: p.Backend, Workers: p.Sim.Workers, Sim: p.Sim,
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for _, r := range coinRes {
+		coin.Y = append(coin.Y, r.P)
 	}
 	fig.Series = []plot.Series{threshold, coin, split}
 	return fig, nil
@@ -77,20 +89,24 @@ func Figure3(n int, points int) (Figure, error) {
 // information and (weakly) winning probability, quantifying the "value of
 // information" the 1991 paper introduced and this paper's no-communication
 // analysis anchors.
-func TableValueOfInformation(cfg sim.Config) (Table, error) {
+func TableValueOfInformation(p Params) (Table, error) {
 	t := Table{
 		ID:      "T5",
 		Title:   "Value of information (PY91 ladder, n=3, δ=1; extension)",
 		Columns: []string{"pattern", "protocol", "P(win)", "std err", "source"},
 	}
+	cfg := p.Sim
 	pcfg := py91.SimConfig{Trials: cfg.Trials, Workers: cfg.Workers, Seed: cfg.Seed}
+	py91Inst := engine.Instance{N: py91.Players, Delta: py91.Capacity}
 
-	// Rung 0: no communication, proven optimal threshold (exact).
+	// Rung 0: no communication, proven optimal threshold (exact, through
+	// the engine).
 	none := py91.ConjecturedOptimal()
-	exact, err := none.ExactWinProbability()
+	exactRes, err := p.engine().Evaluate(py91Inst, engine.PY91Rule{Protocol: none}, engine.Exact)
 	if err != nil {
 		return Table{}, err
 	}
+	exact := exactRes.P
 	t.Rows = append(t.Rows, []string{
 		py91.NoCommunication.String(), none.Name(),
 		fmt.Sprintf("%.6f", exact), "0 (exact)", "Theorem 5.1 + §5.2.1",
@@ -140,8 +156,10 @@ func TableValueOfInformation(cfg sim.Config) (Table, error) {
 		fmt.Sprintf("%.6f", evBC.P), fmt.Sprintf("%.6f", evBC.StdErr), "simulated, tuned",
 	})
 
-	// Rung 3: full information (the feasibility bound, exactly 3/4).
-	evFull, err := py91.Evaluate(py91.FullInformationProtocol{}, pcfg)
+	// Rung 3: full information (the feasibility bound, exactly 3/4),
+	// simulated through the engine's py91 Monte-Carlo backend.
+	evFull, err := p.engine().EvaluateWith(py91Inst,
+		engine.PY91Rule{Protocol: py91.FullInformationProtocol{}}, engine.MonteCarlo, cfg)
 	if err != nil {
 		return Table{}, err
 	}
@@ -163,10 +181,12 @@ func TableValueOfInformation(cfg sim.Config) (Table, error) {
 // As n grows the total load concentrates around n/2 < 2δ, so the
 // omniscient bound tends to 1; the table quantifies how much of that the
 // no-communication algorithm classes capture.
-func TableAsymptotics(ns []int, cfg sim.Config) (Table, error) {
+func TableAsymptotics(ns []int, p Params) (Table, error) {
 	if len(ns) == 0 {
 		return Table{}, fmt.Errorf("harness: empty instance list")
 	}
+	cfg := p.Sim
+	eng := p.engine()
 	t := Table{
 		ID:      "T7",
 		Title:   "Scaling with n at δ = n/3 (extension)",
@@ -178,7 +198,7 @@ func TableAsymptotics(ns []int, cfg sim.Config) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		obl, err := oblivious.Optimal(n, delta)
+		obl, err := eng.Evaluate(engine.Instance{N: n, Delta: delta}, engine.SymmetricOblivious{A: 0.5}, engine.Exact)
 		if err != nil {
 			return Table{}, err
 		}
@@ -204,7 +224,7 @@ func TableAsymptotics(ns []int, cfg sim.Config) (Table, error) {
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%.6f", betaStar),
 			fmt.Sprintf("%.6f", pStar),
-			fmt.Sprintf("%.6f", obl.WinProbability),
+			fmt.Sprintf("%.6f", obl.P),
 			fmt.Sprintf("%.6f", det.WinProbability),
 			feas,
 		})

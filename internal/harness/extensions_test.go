@@ -9,7 +9,7 @@ import (
 )
 
 func TestFigure3CrossoverAtN4(t *testing.T) {
-	fig, err := Figure3(4, 25)
+	fig, err := Figure3(4, Params{Points: 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestFigure3CrossoverAtN4(t *testing.T) {
 }
 
 func TestFigure3MonotoneInCapacity(t *testing.T) {
-	fig, err := Figure3(3, 13)
+	fig, err := Figure3(3, Params{Points: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,10 +67,10 @@ func TestFigure3MonotoneInCapacity(t *testing.T) {
 }
 
 func TestFigure3Validation(t *testing.T) {
-	if _, err := Figure3(1, 10); err == nil {
+	if _, err := Figure3(1, Params{Points: 10}); err == nil {
 		t.Error("n=1: expected error")
 	}
-	if _, err := Figure3(4, 1); err == nil {
+	if _, err := Figure3(4, Params{Points: 1}); err == nil {
 		t.Error("1 point: expected error")
 	}
 }
@@ -102,7 +102,7 @@ func TestTableBeyondThresholds(t *testing.T) {
 }
 
 func TestTableAsymptoticsTrend(t *testing.T) {
-	tab, err := TableAsymptotics([]int{4, 8, 16, 24}, sim.Config{Trials: 20000, Seed: 7})
+	tab, err := TableAsymptotics([]int{4, 8, 16, 24}, Params{Sim: sim.Config{Trials: 20000, Seed: 7}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestTableAsymptoticsTrend(t *testing.T) {
 	if last[5] != "-" {
 		t.Errorf("n=24 feasibility = %q, want suppressed", last[5])
 	}
-	if _, err := TableAsymptotics(nil, sim.Config{Trials: 10}); err == nil {
+	if _, err := TableAsymptotics(nil, Params{Sim: sim.Config{Trials: 10}}); err == nil {
 		t.Error("empty list: expected error")
 	}
 }
@@ -213,7 +213,7 @@ func TestTableNonUniformInputs(t *testing.T) {
 }
 
 func TestTableValueOfInformationLadder(t *testing.T) {
-	tab, err := TableValueOfInformation(sim.Config{Trials: 30000, Seed: 11})
+	tab, err := TableValueOfInformation(Params{Sim: sim.Config{Trials: 30000, Seed: 11}})
 	if err != nil {
 		t.Fatal(err)
 	}

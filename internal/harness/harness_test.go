@@ -110,7 +110,7 @@ func TestFigureRenderAndCSV(t *testing.T) {
 }
 
 func TestFigure1ShapeAndNonUniformity(t *testing.T) {
-	fig, err := Figure1(101)
+	fig, err := Figure1(Params{Points: 101})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,13 +141,13 @@ func TestFigure1ShapeAndNonUniformity(t *testing.T) {
 	if math.Abs(argmax[0]-0.622) > 0.02 {
 		t.Errorf("n=3 argmax = %v, want ≈ 0.622", argmax[0])
 	}
-	if _, err := Figure1(1); err == nil {
+	if _, err := Figure1(Params{Points: 1}); err == nil {
 		t.Error("1 point: expected error")
 	}
 }
 
 func TestFigure2PeaksAtHalf(t *testing.T) {
-	fig, err := Figure2(101)
+	fig, err := Figure2(Params{Points: 101})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,13 +162,13 @@ func TestFigure2PeaksAtHalf(t *testing.T) {
 			t.Errorf("series %q argmax = %v, want 0.5 (uniformity)", s.Name, s.X[best])
 		}
 	}
-	if _, err := Figure2(0); err == nil {
+	if _, err := Figure2(Params{}); err == nil {
 		t.Error("0 points: expected error")
 	}
 }
 
 func TestTableObliviousContents(t *testing.T) {
-	tab, err := TableOblivious([]int{3, 4})
+	tab, err := TableOblivious([]int{3, 4}, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestTableObliviousContents(t *testing.T) {
 	if !strings.Contains(out, "0.416667") { // 5/12 for n=3, δ=1
 		t.Errorf("T1 missing the 5/12 value:\n%s", out)
 	}
-	if _, err := TableOblivious(nil); err == nil {
+	if _, err := TableOblivious(nil, Params{}); err == nil {
 		t.Error("empty list: expected error")
 	}
 }
@@ -220,21 +220,21 @@ func TestTableCaseN4Contents(t *testing.T) {
 }
 
 func TestTableTradeoffOrdering(t *testing.T) {
-	cfg := sim.Config{Trials: 60000, Seed: 3}
-	tab, err := TableTradeoff([]int{3, 4}, cfg)
+	p := Params{Sim: sim.Config{Trials: 60000, Seed: 3}}
+	tab, err := TableTradeoff([]int{3, 4}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tab.Rows) != 2 {
 		t.Fatalf("got %d rows", len(tab.Rows))
 	}
-	if _, err := TableTradeoff(nil, cfg); err == nil {
+	if _, err := TableTradeoff(nil, p); err == nil {
 		t.Error("empty list: expected error")
 	}
 }
 
 func TestTableValidationAllWithinFiveSigma(t *testing.T) {
-	tab, err := TableValidation(sim.Config{Trials: 150000, Seed: 21})
+	tab, err := TableValidation(Params{Sim: sim.Config{Trials: 150000, Seed: 21}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestRegistryRoundTrip(t *testing.T) {
 
 func TestRegistryRunnersExecute(t *testing.T) {
 	// Smoke-run every registry entry with small budgets.
-	cfg := sim.Config{Trials: 20000, Seed: 4}
+	p := Params{Points: 21, Sim: sim.Config{Trials: 20000, Seed: 4}}
 	for _, id := range IDs() {
 		e, err := Lookup(id)
 		if err != nil {
@@ -296,7 +296,7 @@ func TestRegistryRunnersExecute(t *testing.T) {
 		}
 		switch e.Kind {
 		case KindFigure:
-			fig, err := e.RunFigure(21)
+			fig, err := e.RunFigure(p)
 			if err != nil {
 				t.Errorf("%s: %v", id, err)
 				continue
@@ -305,7 +305,7 @@ func TestRegistryRunnersExecute(t *testing.T) {
 				t.Errorf("%s: no series", id)
 			}
 		case KindTable:
-			tab, err := e.RunTable(cfg)
+			tab, err := e.RunTable(p)
 			if err != nil {
 				t.Errorf("%s: %v", id, err)
 				continue

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/obs"
-	"repro/internal/sim"
 )
 
 // RunOutput is the artifact produced by an observed experiment run:
@@ -20,9 +20,10 @@ type RunOutput struct {
 // wrapped in exactly one root span named experiment.<ID>, its wall time is
 // recorded in the exp.<id>.wall_seconds gauge, the experiment counter is
 // bumped, and any embedded simulation inherits the observer through
-// cfg.Obs. points applies to figures, cfg to tables; a nil observer
-// degrades to the plain RunFigure/RunTable behavior.
-func (e Experiment) Run(o *obs.Observer, points int, cfg sim.Config) (RunOutput, error) {
+// p.Sim.Obs. When p.Engine is nil the run gets an engine wired to the same
+// observer, so cache hit/miss counters surface in the metrics snapshot; a
+// nil observer degrades to the plain RunFigure/RunTable behavior.
+func (e Experiment) Run(o *obs.Observer, p Params) (RunOutput, error) {
 	root := o.StartSpan("experiment." + e.ID)
 	start := time.Now()
 	defer func() {
@@ -30,13 +31,16 @@ func (e Experiment) Run(o *obs.Observer, points int, cfg sim.Config) (RunOutput,
 		o.Gauge(fmt.Sprintf("exp.%s.wall_seconds", e.ID)).Set(time.Since(start).Seconds())
 	}()
 	o.Counter("harness.experiments").Inc()
-	cfg.Obs = o
+	p.Sim.Obs = o
+	if p.Engine == nil {
+		p.Engine = engine.New(engine.Config{Sim: p.Sim, Obs: o})
+	}
 	switch e.Kind {
 	case KindFigure:
 		if e.RunFigure == nil {
 			return RunOutput{}, fmt.Errorf("harness: experiment %s has no figure runner", e.ID)
 		}
-		fig, err := e.RunFigure(points)
+		fig, err := e.RunFigure(p)
 		if err != nil {
 			o.EmitError("experiment."+e.ID, err)
 			return RunOutput{}, err
@@ -46,7 +50,7 @@ func (e Experiment) Run(o *obs.Observer, points int, cfg sim.Config) (RunOutput,
 		if e.RunTable == nil {
 			return RunOutput{}, fmt.Errorf("harness: experiment %s has no table runner", e.ID)
 		}
-		tab, err := e.RunTable(cfg)
+		tab, err := e.RunTable(p)
 		if err != nil {
 			o.EmitError("experiment."+e.ID, err)
 			return RunOutput{}, err

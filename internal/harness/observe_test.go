@@ -22,7 +22,7 @@ func TestEveryExperimentEmitsOneRootSpan(t *testing.T) {
 			}
 			var buf bytes.Buffer
 			o := obs.New(obs.NewRegistry(), obs.NewSink(&buf))
-			out, err := exp.Run(o, 3, sim.Config{Trials: 500, Seed: 1})
+			out, err := exp.Run(o, Params{Points: 3, Sim: sim.Config{Trials: 500, Seed: 1}})
 			if err != nil {
 				t.Fatal(err)
 			}

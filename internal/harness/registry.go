@@ -3,8 +3,7 @@ package harness
 import (
 	"fmt"
 	"sort"
-
-	"repro/internal/sim"
+	"strings"
 )
 
 // Kind distinguishes figure experiments from table experiments.
@@ -24,12 +23,10 @@ type Experiment struct {
 	Title string
 	// Kind reports whether RunFigure or RunTable applies.
 	Kind Kind
-	// RunFigure regenerates a figure (nil for tables). points controls
-	// sweep resolution.
-	RunFigure func(points int) (Figure, error)
-	// RunTable regenerates a table (nil for figures). cfg controls any
-	// embedded simulation.
-	RunTable func(cfg sim.Config) (Table, error)
+	// RunFigure regenerates a figure (nil for tables).
+	RunFigure func(p Params) (Figure, error)
+	// RunTable regenerates a table (nil for figures).
+	RunTable func(p Params) (Table, error)
 }
 
 // Registry returns all experiments keyed by id.
@@ -48,32 +45,32 @@ func Registry() map[string]Experiment {
 		"F3": {
 			ID: "F3", Kind: KindFigure,
 			Title: "Algorithm classes vs capacity δ at n=4 (extension)",
-			RunFigure: func(points int) (Figure, error) {
-				return Figure3(4, points)
+			RunFigure: func(p Params) (Figure, error) {
+				return Figure3(4, p)
 			},
 		},
 		"T1": {
 			ID: "T1", Kind: KindTable,
 			Title: "Optimal oblivious algorithms per n (Theorem 4.3)",
-			RunTable: func(sim.Config) (Table, error) {
-				return TableOblivious([]int{2, 3, 4, 5, 6, 7, 8, 9, 10})
+			RunTable: func(p Params) (Table, error) {
+				return TableOblivious([]int{2, 3, 4, 5, 6, 7, 8, 9, 10}, p)
 			},
 		},
 		"T2": {
 			ID: "T2", Kind: KindTable,
 			Title:    "Case n=3, δ=1 (Section 5.2.1)",
-			RunTable: func(sim.Config) (Table, error) { return TableCaseN3() },
+			RunTable: func(Params) (Table, error) { return TableCaseN3() },
 		},
 		"T3": {
 			ID: "T3", Kind: KindTable,
 			Title:    "Case n=4, δ=4/3 (Section 5.2.2)",
-			RunTable: func(sim.Config) (Table, error) { return TableCaseN4() },
+			RunTable: func(Params) (Table, error) { return TableCaseN4() },
 		},
 		"T4": {
 			ID: "T4", Kind: KindTable,
 			Title: "Knowledge/uniformity trade-off",
-			RunTable: func(cfg sim.Config) (Table, error) {
-				return TableTradeoff([]int{2, 3, 4, 5, 6, 7, 8}, cfg)
+			RunTable: func(p Params) (Table, error) {
+				return TableTradeoff([]int{2, 3, 4, 5, 6, 7, 8}, p)
 			},
 		},
 		"T5": {
@@ -84,28 +81,28 @@ func Registry() map[string]Experiment {
 		"T6": {
 			ID: "T6", Kind: KindTable,
 			Title: "Beyond single thresholds: two-interval rules (extension)",
-			RunTable: func(sim.Config) (Table, error) {
+			RunTable: func(Params) (Table, error) {
 				return TableBeyondThresholds(512)
 			},
 		},
 		"T7": {
 			ID: "T7", Kind: KindTable,
 			Title: "Scaling with n at δ = n/3 (extension)",
-			RunTable: func(cfg sim.Config) (Table, error) {
-				return TableAsymptotics([]int{2, 4, 6, 8, 10, 12, 16, 20, 24}, cfg)
+			RunTable: func(p Params) (Table, error) {
+				return TableAsymptotics([]int{2, 4, 6, 8, 10, 12, 16, 20, 24}, p)
 			},
 		},
 		"T8": {
 			ID: "T8", Kind: KindTable,
 			Title: "Value of one broadcast bit (extension)",
-			RunTable: func(sim.Config) (Table, error) {
+			RunTable: func(Params) (Table, error) {
 				return TableOneBitValue([]int{2, 3, 4, 5, 6})
 			},
 		},
 		"T9": {
 			ID: "T9", Kind: KindTable,
 			Title:    "Non-uniform input distributions (extension)",
-			RunTable: func(sim.Config) (Table, error) { return TableNonUniformInputs() },
+			RunTable: func(Params) (Table, error) { return TableNonUniformInputs() },
 		},
 		"V1": {
 			ID: "V1", Kind: KindTable,
@@ -113,6 +110,24 @@ func Registry() map[string]Experiment {
 			RunTable: TableValidation,
 		},
 	}
+}
+
+// aliases maps mnemonic experiment names (as accepted by the CLIs, e.g.
+// `nocomm table oblivious`) onto registry ids.
+var aliases = map[string]string{
+	"thresholds":           "F1",
+	"coins":                "F2",
+	"crossover":            "F3",
+	"oblivious":            "T1",
+	"case-n3":              "T2",
+	"case-n4":              "T3",
+	"tradeoff":             "T4",
+	"value-of-information": "T5",
+	"beyond":               "T6",
+	"asymptotics":          "T7",
+	"one-bit":              "T8",
+	"non-uniform":          "T9",
+	"validation":           "V1",
 }
 
 // IDs returns the registry keys in sorted order.
@@ -126,9 +141,14 @@ func IDs() []string {
 	return out
 }
 
-// Lookup fetches one experiment by id.
+// Lookup fetches one experiment by id or mnemonic alias,
+// case-insensitively ("T1", "t1" and "oblivious" all resolve to T1).
 func Lookup(id string) (Experiment, error) {
-	e, ok := Registry()[id]
+	key := strings.ToUpper(strings.TrimSpace(id))
+	if canonical, ok := aliases[strings.ToLower(strings.TrimSpace(id))]; ok {
+		key = canonical
+	}
+	e, ok := Registry()[key]
 	if !ok {
 		return Experiment{}, fmt.Errorf("harness: unknown experiment %q (known: %v)", id, IDs())
 	}

@@ -3,10 +3,10 @@ package py91
 import (
 	"fmt"
 	"math/rand/v2"
-	"runtime"
 	"sync"
 
 	"repro/internal/optimize"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -41,15 +41,9 @@ func Evaluate(p Protocol, cfg SimConfig) (Evaluation, error) {
 	if cfg.Trials <= 0 {
 		return Evaluation{}, fmt.Errorf("py91: trial count %d must be positive", cfg.Trials)
 	}
-	if cfg.Workers < 0 {
-		return Evaluation{}, fmt.Errorf("py91: worker count %d must be non-negative", cfg.Workers)
-	}
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
+	workers, err := sim.WorkerCount(cfg.Workers, cfg.Trials)
+	if err != nil {
+		return Evaluation{}, fmt.Errorf("py91: %w", err)
 	}
 	counters := make([]stats.Proportion, workers)
 	errs := make([]error, workers)

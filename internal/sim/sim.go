@@ -56,19 +56,39 @@ func (c Config) validate() (Config, error) {
 	if c.Trials <= 0 {
 		return c, fmt.Errorf("sim: trial count %d must be positive", c.Trials)
 	}
-	if c.Workers < 0 {
-		return c, fmt.Errorf("sim: worker count %d must be non-negative", c.Workers)
-	}
 	if c.CheckpointEvery < 0 {
 		return c, fmt.Errorf("sim: checkpoint interval %d must be non-negative", c.CheckpointEvery)
 	}
-	if c.Workers == 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+	w, err := WorkerCount(c.Workers, c.Trials)
+	if err != nil {
+		return c, err
 	}
-	if c.Workers > c.Trials {
-		c.Workers = c.Trials
-	}
+	c.Workers = w
 	return c, nil
+}
+
+// WorkerCount resolves a requested parallel worker count against the
+// repo-wide policy: 0 selects the default of runtime.GOMAXPROCS(0),
+// negative counts are rejected, and a positive jobs bound clamps the count
+// so no worker sits idle (jobs ≤ 0 means "unbounded"). Every parallel
+// fan-out — sim.Config, py91.Evaluate, engine.Sweep, and the CLI -workers
+// flags — routes through this one helper so defaulting and clamping cannot
+// drift between layers again.
+func WorkerCount(requested, jobs int) (int, error) {
+	if requested < 0 {
+		return 0, fmt.Errorf("sim: worker count %d must be non-negative", requested)
+	}
+	w := requested
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if jobs > 0 && w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w, nil
 }
 
 // workerSource derives worker w's independent random stream.
@@ -395,28 +415,18 @@ func LoadStats(sys *model.System, cfg Config, metric func(model.Outcome) float64
 	return total, nil
 }
 
-// WinProbabilitySweep evaluates WinProbability for each system produced by
-// build over the given parameter values, returning one Result per value.
-// This is the engine behind the figure reproductions (threshold sweeps and
-// coin-probability sweeps).
-func WinProbabilitySweep(values []float64, cfg Config, build func(v float64) (*model.System, error)) ([]Result, error) {
-	if build == nil {
-		return nil, fmt.Errorf("sim: nil system builder")
+// Bernoulli estimates the success probability of an arbitrary trial
+// function by playing cfg.Trials independent rounds across seeded parallel
+// workers — the same deterministic fan-out that backs WinProbability and
+// FeasibilityProbability, exported so higher layers (the evaluation engine,
+// protocol simulators) can run custom trials without re-implementing the
+// worker pool. name labels the run's root span when observability is on.
+func Bernoulli(cfg Config, name string, trial func(rng *rand.Rand) (bool, error)) (Result, error) {
+	if trial == nil {
+		return Result{}, fmt.Errorf("sim: nil trial function")
 	}
-	if len(values) == 0 {
-		return nil, fmt.Errorf("sim: empty sweep")
+	if name == "" {
+		name = "bernoulli"
 	}
-	out := make([]Result, len(values))
-	for i, v := range values {
-		sys, err := build(v)
-		if err != nil {
-			return nil, fmt.Errorf("sim: building system for value %v: %w", v, err)
-		}
-		r, err := WinProbability(sys, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = r
-	}
-	return out, nil
+	return runBernoulli(cfg, name, trial)
 }

@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"errors"
 	"math"
+	"math/rand/v2"
+	"runtime"
 	"testing"
 
 	"repro/internal/model"
@@ -169,42 +172,60 @@ func TestLoadStats(t *testing.T) {
 	}
 }
 
-func TestWinProbabilitySweep(t *testing.T) {
-	betas := []float64{0.3, 0.5, 0.622, 0.8}
-	results, err := WinProbabilitySweep(betas, Config{Trials: 50000, Seed: 23}, func(b float64) (*model.System, error) {
-		rule, err := model.NewThresholdRule(b)
-		if err != nil {
-			return nil, err
-		}
-		return model.UniformSystem(3, rule, 1)
-	})
+func TestBernoulli(t *testing.T) {
+	// A trial that succeeds iff a uniform draw is below 0.25.
+	trial := func(rng *rand.Rand) (bool, error) { return rng.Float64() < 0.25, nil }
+	res, err := Bernoulli(Config{Trials: 200000, Seed: 23}, "quarter", trial)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != len(betas) {
-		t.Fatalf("got %d results", len(results))
+	if math.Abs(res.P-0.25) > 4*res.StdErr {
+		t.Errorf("P = %v ± %v, want ≈ 0.25", res.P, res.StdErr)
 	}
-	// The optimum 0.622 should beat the other sampled thresholds.
-	best := 2
-	for i, r := range results {
-		if r.P > results[best].P {
-			best = i
-		}
+	if res.Trials != 200000 {
+		t.Errorf("trials = %d", res.Trials)
 	}
-	if best != 2 {
-		t.Errorf("best threshold index = %d (β=%v), want 2 (β=0.622)", best, betas[best])
+	// Deterministic for a fixed (seed, workers) layout.
+	again, err := Bernoulli(Config{Trials: 200000, Seed: 23}, "quarter", trial)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := WinProbabilitySweep(nil, Config{Trials: 10}, nil); err == nil {
-		t.Error("nil builder: expected error")
+	if res.Wins != again.Wins {
+		t.Errorf("same seed gave %d then %d wins", res.Wins, again.Wins)
 	}
-	if _, err := WinProbabilitySweep([]float64{}, Config{Trials: 10}, func(float64) (*model.System, error) { return nil, nil }); err == nil {
-		t.Error("empty sweep: expected error")
+	if _, err := Bernoulli(Config{Trials: 10}, "", nil); err == nil {
+		t.Error("nil trial: expected error")
 	}
-	if _, err := WinProbabilitySweep([]float64{2}, Config{Trials: 10}, func(v float64) (*model.System, error) {
-		_, err := model.NewThresholdRule(v)
-		return nil, err
-	}); err == nil {
-		t.Error("builder error should propagate")
+	if _, err := Bernoulli(Config{Trials: 0}, "", trial); err == nil {
+		t.Error("zero trials: expected error")
+	}
+	wantErr := errors.New("boom")
+	if _, err := Bernoulli(Config{Trials: 10}, "", func(*rand.Rand) (bool, error) { return false, wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("trial error not propagated: %v", err)
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	// Regression test for the repo-wide worker policy: 0 defaults to
+	// GOMAXPROCS, negatives are rejected, and a positive jobs bound clamps.
+	if w, err := WorkerCount(0, 1<<30); err != nil || w != runtime.GOMAXPROCS(0) {
+		t.Errorf("WorkerCount(0, big) = %d, %v; want GOMAXPROCS = %d", w, err, runtime.GOMAXPROCS(0))
+	}
+	if w, err := WorkerCount(5, 0); err != nil || w != 5 {
+		t.Errorf("WorkerCount(5, unbounded) = %d, %v; want 5", w, err)
+	}
+	if w, err := WorkerCount(16, 3); err != nil || w != 3 {
+		t.Errorf("WorkerCount(16, 3) = %d, %v; want clamp to 3", w, err)
+	}
+	if w, err := WorkerCount(2, 8); err != nil || w != 2 {
+		t.Errorf("WorkerCount(2, 8) = %d, %v; want 2", w, err)
+	}
+	if _, err := WorkerCount(-1, 10); err == nil {
+		t.Error("negative workers: expected error")
+	}
+	// The clamp never returns less than one worker.
+	if w, err := WorkerCount(0, 1); err != nil || w != 1 {
+		t.Errorf("WorkerCount(0, 1) = %d, %v; want 1", w, err)
 	}
 }
 
