@@ -1,11 +1,19 @@
 # Canonical developer entry points. `make ci` is the tier-1 gate recorded
 # in ROADMAP.md; the race target covers the concurrency-heavy packages
-# (the Monte-Carlo engine, the metrics/span layer it feeds, and the
-# memoizing evaluation engine with its sharded sweeps).
+# (the Monte-Carlo engine with its batch kernel and scratch pools, the
+# metrics/span layer it feeds, and the memoizing evaluation engine with
+# its sharded sweeps).
 
 GO ?= go
 
-.PHONY: build test race vet bench ci
+# Benchmark knobs: CI can run a short smoke-bench without timing out via
+# `make bench BENCHTIME=10x PKG=.`, and `make bench-json LABEL=...`
+# records a labeled snapshot in the BENCH_sim.json perf trajectory.
+BENCHTIME ?= 1s
+PKG ?= ./...
+LABEL ?= dev
+
+.PHONY: build test race vet bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -14,12 +22,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/engine/...
+	$(GO) test -race ./internal/model/... ./internal/sim/... ./internal/obs/... ./internal/engine/...
 
 vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -bench . -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) $(PKG)
+
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) $(PKG) | $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_sim.json
 
 ci: build vet test race

@@ -313,14 +313,17 @@ func BenchmarkOneBitBroadcast(b *testing.B) {
 // ---- observability overhead ----
 
 // The three benchmarks below isolate what the telemetry layer costs the
-// simulate hot loop. Baseline hand-rolls the pre-instrumentation loop
+// simulate hot loop. Baseline hand-rolls the pre-batching per-trial loop
 // (sample, play, count — no obs branch anywhere); Instrumented runs the
-// production sim.WinProbability with a nil observer, which must stay
-// within 2% of Baseline because the engine branches once per run, not per
-// trial; Observed turns the full telemetry on (spans, counters,
-// convergence checkpoints into a discarded sink) to document the cost of
-// opting in. All three use one worker and identical PCG streams so ns/op
-// is comparable.
+// production sim.WinProbability with a nil observer, which since the
+// batched kernel landed runs well *under* Baseline (it skips the
+// per-trial allocations and interface dispatch Baseline still pays);
+// Observed turns the full telemetry on (spans, counters, convergence
+// checkpoints into a discarded sink) to document the cost of opting in —
+// the contract is that Observed stays within a few percent of
+// Instrumented, since win flags are replayed per trial from the batch
+// buffer rather than re-simulated. All three use one worker and identical
+// PCG streams so ns/op is comparable.
 
 const obsBenchTrials = 100_000
 
@@ -373,8 +376,8 @@ func BenchmarkWinProbabilityBaseline(b *testing.B) {
 
 // BenchmarkWinProbabilityInstrumented runs the production engine with a
 // nil observer — the default for every caller that does not pass -obs.
-// Compare against BenchmarkWinProbabilityBaseline: the contract is that
-// the no-op overhead stays under 2%.
+// Compare against BenchmarkWinProbabilityBaseline to see what the batched
+// kernel buys over the per-trial loop on the same workload.
 func BenchmarkWinProbabilityInstrumented(b *testing.B) {
 	sys := obsBenchSystem(b)
 	b.ResetTimer()
@@ -411,6 +414,62 @@ func BenchmarkSimulation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := inst.SimulateThreshold(beta, sim.Config{Trials: 100_000, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- batch kernel ----
+
+// noBatchRule hides the BatchRule implementation of a rule, forcing
+// sim.WinProbability onto the per-trial fallback path.
+type noBatchRule struct{ r model.LocalRule }
+
+func (nb noBatchRule) Decide(x float64, rng *rand.Rand) (model.Bin, error) {
+	return nb.r.Decide(x, rng)
+}
+
+// BenchmarkBatchKernel times model.BatchKernel.Play alone — the
+// allocation-free inner loop of the Monte-Carlo engine — in trials/op.
+func BenchmarkBatchKernel(b *testing.B) {
+	sys := obsBenchSystem(b)
+	k, ok := model.NewBatchKernel(sys)
+	if !ok {
+		b.Fatal("threshold system should be batchable")
+	}
+	sc := model.GetBatchScratch()
+	defer sc.Release()
+	rng := rand.New(rand.NewPCG(1, 2))
+	const batch = 256
+	k.Play(sc, rng, batch) // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		k.Play(sc, rng, batch)
+	}
+}
+
+// BenchmarkWinProbabilityFallback times the per-trial fallback path on the
+// BenchmarkSimulation workload (rules wrapped to hide BatchRule), keeping
+// the cost of non-batchable rules visible next to the batched numbers.
+func BenchmarkWinProbabilityFallback(b *testing.B) {
+	rule, err := model.NewThresholdRule(0.622)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := model.NewSystem([]model.LocalRule{
+		noBatchRule{rule}, noBatchRule{rule}, noBatchRule{rule},
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, ok := model.NewBatchKernel(sys); ok {
+		b.Fatal("wrapped system must not be batchable")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{Trials: obsBenchTrials, Workers: 1, Seed: uint64(i + 1)}
+		if _, err := sim.WinProbability(sys, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,262 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// JSON perf-trajectory file, so benchmark runs can be snapshotted,
+// diffed, and checked for regressions over the life of the repo.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -label post-batch -out BENCH_sim.json
+//
+// Each invocation parses one benchmark run from stdin and merges it into
+// the output file as a labeled snapshot (replacing any existing snapshot
+// with the same label, so re-runs stay idempotent). Snapshots keep the
+// raw benchmark lines alongside the parsed numbers, so `benchstat` can
+// still compare any two snapshots after extracting the raw text.
+//
+// With -check OLD,NEW the command instead compares two stored snapshots
+// and exits non-zero when a benchmark in NEW is more than -tolerance
+// slower (ns/op) than in OLD, or allocates more — the regression gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name without the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iters is the measured iteration count.
+	Iters int64 `json:"iters"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the reported per-operation
+	// costs; BytesPerOp and AllocsPerOp are -1 when -benchmem was off.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Raw is the original output line, for benchstat replay.
+	Raw string `json:"raw"`
+}
+
+// Snapshot is one labeled benchmark run.
+type Snapshot struct {
+	// Label names the snapshot (e.g. "baseline", "post-batch").
+	Label string `json:"label"`
+	// Recorded is the RFC 3339 capture time.
+	Recorded string `json:"recorded"`
+	// Goos/Goarch/CPU echo the run's environment header lines.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks holds the parsed results, sorted by name.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the on-disk BENCH_sim.json shape.
+type File struct {
+	// Snapshots is the perf trajectory, in insertion order.
+	Snapshots []Snapshot `json:"snapshots"`
+}
+
+// benchLine matches `BenchmarkName-P  iters  12.3 ns/op [45 B/op  6 allocs/op]`.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parse reads one `go test -bench` run.
+func parse(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			s.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			s.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			s.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Procs: 1, BytesPerOp: -1, AllocsPerOp: -1, Raw: line}
+		if m[2] != "" {
+			p, err := strconv.Atoi(m[2])
+			if err != nil {
+				return s, fmt.Errorf("benchjson: bad procs in %q: %w", line, err)
+			}
+			b.Procs = p
+		}
+		var err error
+		if b.Iters, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+			return s, fmt.Errorf("benchjson: bad iteration count in %q: %w", line, err)
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+			return s, fmt.Errorf("benchjson: bad ns/op in %q: %w", line, err)
+		}
+		if m[5] != "" {
+			if b.BytesPerOp, err = strconv.ParseFloat(m[5], 64); err != nil {
+				return s, fmt.Errorf("benchjson: bad B/op in %q: %w", line, err)
+			}
+		}
+		if m[6] != "" {
+			if b.AllocsPerOp, err = strconv.ParseInt(m[6], 10, 64); err != nil {
+				return s, fmt.Errorf("benchjson: bad allocs/op in %q: %w", line, err)
+			}
+		}
+		s.Benchmarks = append(s.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return s, err
+	}
+	sort.Slice(s.Benchmarks, func(i, j int) bool {
+		if s.Benchmarks[i].Name != s.Benchmarks[j].Name {
+			return s.Benchmarks[i].Name < s.Benchmarks[j].Name
+		}
+		return s.Benchmarks[i].Procs < s.Benchmarks[j].Procs
+	})
+	return s, nil
+}
+
+// load reads an existing trajectory file; a missing file is an empty one.
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return f, nil
+	}
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// merge inserts s into f, replacing any snapshot with the same label.
+func merge(f *File, s Snapshot) {
+	for i := range f.Snapshots {
+		if f.Snapshots[i].Label == s.Label {
+			f.Snapshots[i] = s
+			return
+		}
+	}
+	f.Snapshots = append(f.Snapshots, s)
+}
+
+// find returns the snapshot with the given label.
+func find(f File, label string) (Snapshot, error) {
+	for _, s := range f.Snapshots {
+		if s.Label == label {
+			return s, nil
+		}
+	}
+	return Snapshot{}, fmt.Errorf("benchjson: no snapshot labeled %q", label)
+}
+
+// check compares NEW against OLD benchmark-by-benchmark and returns the
+// human-readable regressions: ns/op growth beyond tol (a ratio; 0.10 is
+// +10%) or any allocs/op growth. Benchmarks present in only one snapshot
+// are skipped — the gate only judges comparable pairs.
+func check(old, new Snapshot, tol float64) []string {
+	byKey := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		byKey[fmt.Sprintf("%s-%d", b.Name, b.Procs)] = b
+	}
+	var bad []string
+	for _, nb := range new.Benchmarks {
+		ob, ok := byKey[fmt.Sprintf("%s-%d", nb.Name, nb.Procs)]
+		if !ok {
+			continue
+		}
+		if ob.NsPerOp > 0 && nb.NsPerOp > ob.NsPerOp*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (+%.1f%%, tolerance %.0f%%)",
+				nb.Name, ob.NsPerOp, nb.NsPerOp, 100*(nb.NsPerOp/ob.NsPerOp-1), 100*tol))
+		}
+		if ob.AllocsPerOp >= 0 && nb.AllocsPerOp > ob.AllocsPerOp {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op -> %d allocs/op",
+				nb.Name, ob.AllocsPerOp, nb.AllocsPerOp))
+		}
+	}
+	return bad
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "BENCH_sim.json", "trajectory file to update (or read with -check)")
+	label := fs.String("label", "", "snapshot label to record (required unless -check)")
+	checkPair := fs.String("check", "", "compare two stored snapshots: OLD,NEW")
+	tol := fs.Float64("tolerance", 0.10, "allowed ns/op growth ratio for -check")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := load(*out)
+	if err != nil {
+		return err
+	}
+	if *checkPair != "" {
+		labels := strings.Split(*checkPair, ",")
+		if len(labels) != 2 {
+			return fmt.Errorf("benchjson: -check wants OLD,NEW, got %q", *checkPair)
+		}
+		old, err := find(f, strings.TrimSpace(labels[0]))
+		if err != nil {
+			return err
+		}
+		new, err := find(f, strings.TrimSpace(labels[1]))
+		if err != nil {
+			return err
+		}
+		if bad := check(old, new, *tol); len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintln(stderr, "regression:", line)
+			}
+			return fmt.Errorf("benchjson: %d benchmark regression(s) from %q to %q", len(bad), old.Label, new.Label)
+		}
+		fmt.Fprintf(stdout, "benchjson: no regressions from %q to %q\n", old.Label, new.Label)
+		return nil
+	}
+	if *label == "" {
+		return fmt.Errorf("benchjson: -label is required when recording")
+	}
+	s, err := parse(stdin)
+	if err != nil {
+		return err
+	}
+	if len(s.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin (did you pass -bench?)")
+	}
+	s.Label = *label
+	s.Recorded = time.Now().UTC().Format(time.RFC3339)
+	merge(&f, s)
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "benchjson: recorded %d benchmark(s) as %q in %s\n", len(s.Benchmarks), s.Label, *out)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

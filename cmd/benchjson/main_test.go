@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel Xeon
+BenchmarkSimulation-1   	     142	   8606587 ns/op	 3962688 B/op	  165101 allocs/op
+BenchmarkObsOverhead/baseline         	     126	   9400630 ns/op
+BenchmarkQuick-8   	 1000000	      1042 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	4.2s
+`
+
+func TestParse(t *testing.T) {
+	s, err := parse(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Goos != "linux" || s.Goarch != "amd64" || s.CPU != "Intel Xeon" {
+		t.Errorf("env = %q/%q/%q", s.Goos, s.Goarch, s.CPU)
+	}
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(s.Benchmarks), s.Benchmarks)
+	}
+	// Sorted by name.
+	obs, quick, sim := s.Benchmarks[0], s.Benchmarks[1], s.Benchmarks[2]
+	if obs.Name != "BenchmarkObsOverhead/baseline" || obs.Procs != 1 {
+		t.Errorf("obs = %+v", obs)
+	}
+	if obs.BytesPerOp != -1 || obs.AllocsPerOp != -1 {
+		t.Errorf("missing -benchmem fields should be -1, got %+v", obs)
+	}
+	if sim.Name != "BenchmarkSimulation" || sim.Iters != 142 || sim.NsPerOp != 8606587 ||
+		sim.BytesPerOp != 3962688 || sim.AllocsPerOp != 165101 {
+		t.Errorf("sim = %+v", sim)
+	}
+	if quick.Procs != 8 || quick.NsPerOp != 1042 || quick.AllocsPerOp != 0 {
+		t.Errorf("quick = %+v", quick)
+	}
+}
+
+func TestRecordMergeAndCheck(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	var stdout, stderr bytes.Buffer
+
+	record := func(label, run string) error {
+		t.Helper()
+		return runCmd(t, []string{"-label", label, "-out", out}, run, &stdout, &stderr)
+	}
+	if err := record("baseline", sampleRun); err != nil {
+		t.Fatal(err)
+	}
+	faster := strings.Replace(sampleRun, "8606587 ns/op	 3962688 B/op	  165101 allocs/op",
+		"2260207 ns/op	     320 B/op	      28 allocs/op", 1)
+	if err := record("post-batch", faster); err != nil {
+		t.Fatal(err)
+	}
+	// Re-recording a label replaces, not appends.
+	if err := record("post-batch", faster); err != nil {
+		t.Fatal(err)
+	}
+	f, err := load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Snapshots) != 2 {
+		t.Fatalf("%d snapshots, want 2 (idempotent labels)", len(f.Snapshots))
+	}
+	if f.Snapshots[0].Label != "baseline" || f.Snapshots[1].Label != "post-batch" {
+		t.Errorf("labels = %q, %q", f.Snapshots[0].Label, f.Snapshots[1].Label)
+	}
+
+	// Improvement passes the gate; the reverse direction fails it.
+	if err := runCmd(t, []string{"-out", out, "-check", "baseline,post-batch"}, "", &stdout, &stderr); err != nil {
+		t.Errorf("improvement flagged as regression: %v\n%s", err, stderr.String())
+	}
+	err = runCmd(t, []string{"-out", out, "-check", "post-batch,baseline"}, "", &stdout, &stderr)
+	if err == nil {
+		t.Error("regression not flagged")
+	}
+	if !strings.Contains(stderr.String(), "BenchmarkSimulation") {
+		t.Errorf("regression output missing benchmark name:\n%s", stderr.String())
+	}
+}
+
+func TestRecordRejectsEmptyInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "b.json")
+	var stdout, stderr bytes.Buffer
+	if err := runCmd(t, []string{"-label", "x", "-out", out}, "no benchmarks here\n", &stdout, &stderr); err == nil {
+		t.Error("expected an error for input without benchmark lines")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Error("output file written despite parse failure")
+	}
+}
+
+func runCmd(t *testing.T, args []string, stdin string, stdout, stderr *bytes.Buffer) error {
+	t.Helper()
+	return run(args, strings.NewReader(stdin), stdout, stderr)
+}

@@ -73,6 +73,9 @@ const (
 	Exact
 	// MonteCarlo estimates by simulation (sim.WinProbability for rules
 	// with a local-rule system, the rule's own simulator otherwise).
+	// Systems whose rules implement model.BatchRule run on the
+	// allocation-free batch kernel; results are bit-identical to the
+	// per-trial path for a fixed (Seed, Workers) pair either way.
 	MonteCarlo
 )
 

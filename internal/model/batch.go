@@ -1,0 +1,350 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+)
+
+// This file is the zero-allocation batch layer of the model: BatchRule
+// lets a rule decide many trials in one call (no per-player interface
+// dispatch inside the Monte-Carlo hot loop), BatchScratch pools the
+// per-worker buffers a batch needs, and BatchKernel samples and plays a
+// whole batch of trials from those buffers.
+//
+// The load-bearing invariant is RNG draw order: for every trial the
+// kernel draws the n inputs first and then one coin per strictly
+// randomized player in ascending player order — exactly the sequence
+// SampleInputs + Play consumes — so for a fixed stream the batched and
+// per-trial paths produce bit-identical outcomes.
+
+// BatchRule is implemented by rules that can decide a whole batch of
+// trials in one call. The Monte-Carlo engine uses it to skip the
+// per-player interface dispatch (and error plumbing) of Decide inside the
+// hot loop; rules that do not implement it fall back to the per-trial
+// path.
+type BatchRule interface {
+	LocalRule
+	// CoinDraws reports how many rng.Float64 coin draws one Decide call
+	// consumes: 0 for deterministic rules, 1 for strictly randomized
+	// ones. The batch kernel pre-draws exactly this many coins per trial,
+	// in the per-trial order, and passes them through DecideBatch's coins
+	// argument — this is what keeps batched RNG streams bit-identical to
+	// the per-trial path.
+	CoinDraws() int
+	// DecideBatch maps inputs[k] (and, when CoinDraws is 1, coins[k]) to
+	// out[k] for every k. All slices have equal length; coins is nil when
+	// CoinDraws is 0. Implementations must be equivalent to calling
+	// Decide once per element with the matching coin as the rng draw.
+	DecideBatch(inputs, coins []float64, out []Bin)
+}
+
+// CoinDraws implements BatchRule: a strictly randomized oblivious rule
+// consumes one coin per decision, the degenerate 0/1 rules none (Decide
+// returns before touching rng).
+func (r ObliviousRule) CoinDraws() int {
+	if r.P0 > 0 && r.P0 < 1 {
+		return 1
+	}
+	return 0
+}
+
+// DecideBatch implements BatchRule.
+func (r ObliviousRule) DecideBatch(_, coins []float64, out []Bin) {
+	switch {
+	case r.P0 <= 0:
+		for k := range out {
+			out[k] = Bin1
+		}
+	case r.P0 >= 1:
+		for k := range out {
+			out[k] = Bin0
+		}
+	default:
+		p0 := r.P0
+		for k, c := range coins {
+			v := Bin0
+			if c >= p0 {
+				v = Bin1
+			}
+			out[k] = v
+		}
+	}
+}
+
+// CoinDraws implements BatchRule: threshold rules are deterministic.
+func (r ThresholdRule) CoinDraws() int { return 0 }
+
+// DecideBatch implements BatchRule. The conditional assigns a constant,
+// which compiles to a branch-free conditional move — the comparison
+// outcome is data-dependent and would otherwise mispredict constantly.
+func (r ThresholdRule) DecideBatch(inputs, _ []float64, out []Bin) {
+	th := r.Threshold
+	for k, x := range inputs {
+		v := Bin0
+		if x > th {
+			v = Bin1
+		}
+		out[k] = v
+	}
+}
+
+// IntervalUnionRule is the deterministic rule whose bin-0 region is a
+// finite union of disjoint closed intervals, stored flattened for a
+// cache-friendly scan. It is the batched counterpart of wrapping an
+// interval set in a FuncRule, and the rule type response.IntervalSet
+// lowers to.
+type IntervalUnionRule struct {
+	name string
+	los  []float64
+	his  []float64
+}
+
+// NewIntervalUnionRule builds the rule from interval endpoints
+// (los[j], his[j] bound the j-th interval). Intervals must satisfy
+// 0 ≤ lo ≤ hi ≤ 1 and be sorted and disjoint. An empty union is valid
+// (the rule always chooses bin 1).
+func NewIntervalUnionRule(name string, los, his []float64) (IntervalUnionRule, error) {
+	if len(los) != len(his) {
+		return IntervalUnionRule{}, fmt.Errorf("model: %d interval starts for %d ends", len(los), len(his))
+	}
+	cl := append([]float64(nil), los...)
+	ch := append([]float64(nil), his...)
+	for j := range cl {
+		if math.IsNaN(cl[j]) || math.IsNaN(ch[j]) || cl[j] < 0 || ch[j] > 1 || cl[j] > ch[j] {
+			return IntervalUnionRule{}, fmt.Errorf("model: invalid interval [%v, %v]", cl[j], ch[j])
+		}
+		if j > 0 && cl[j] <= ch[j-1] {
+			return IntervalUnionRule{}, fmt.Errorf("model: intervals [%v, %v] and [%v, %v] out of order or overlapping",
+				cl[j-1], ch[j-1], cl[j], ch[j])
+		}
+	}
+	if !sort.Float64sAreSorted(cl) {
+		return IntervalUnionRule{}, fmt.Errorf("model: interval starts not sorted")
+	}
+	return IntervalUnionRule{name: name, los: cl, his: ch}, nil
+}
+
+// Name returns the rule's label.
+func (r IntervalUnionRule) Name() string { return r.name }
+
+// Contains reports whether x lies in the bin-0 region.
+func (r IntervalUnionRule) Contains(x float64) bool {
+	for j, lo := range r.los {
+		if x < lo {
+			return false
+		}
+		if x <= r.his[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// Decide implements LocalRule.
+func (r IntervalUnionRule) Decide(input float64, _ *rand.Rand) (Bin, error) {
+	if r.Contains(input) {
+		return Bin0, nil
+	}
+	return Bin1, nil
+}
+
+// CoinDraws implements BatchRule: interval rules are deterministic.
+func (r IntervalUnionRule) CoinDraws() int { return 0 }
+
+// DecideBatch implements BatchRule.
+func (r IntervalUnionRule) DecideBatch(inputs, _ []float64, out []Bin) {
+	if len(r.los) == 1 {
+		// Single interval (bands, thresholds): branch-light fast path.
+		lo, hi := r.los[0], r.his[0]
+		for k, x := range inputs {
+			if x >= lo && x <= hi {
+				out[k] = Bin0
+			} else {
+				out[k] = Bin1
+			}
+		}
+		return
+	}
+	for k, x := range inputs {
+		if r.Contains(x) {
+			out[k] = Bin0
+		} else {
+			out[k] = Bin1
+		}
+	}
+}
+
+// Compile-time interface compliance checks for the batch layer.
+var (
+	_ BatchRule = ObliviousRule{}
+	_ BatchRule = ThresholdRule{}
+	_ BatchRule = IntervalUnionRule{}
+	_ LocalRule = IntervalUnionRule{}
+)
+
+// BatchScratch holds the reusable buffers one worker needs to sample and
+// play batches of trials. Buffers grow on demand and are recycled through
+// a shared pool: a steady-state worker loop performs zero allocations per
+// trial.
+type BatchScratch struct {
+	// inputs and coins are column-major: player i's (or coin column c's)
+	// values for a b-trial batch occupy [i*b : (i+1)*b].
+	inputs, coins []float64
+	decisions     []Bin
+	load0, load1  []float64
+	wins          []bool
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(BatchScratch) }}
+
+// GetBatchScratch fetches a scratch buffer from the shared pool.
+func GetBatchScratch() *BatchScratch {
+	return batchScratchPool.Get().(*BatchScratch)
+}
+
+// Release returns the scratch buffer to the pool. The caller must not use
+// it afterwards.
+func (sc *BatchScratch) Release() { batchScratchPool.Put(sc) }
+
+// Wins exposes the per-trial win flags of the most recent Play batch;
+// only the first b entries (the batch size passed to Play) are valid.
+func (sc *BatchScratch) Wins() []bool { return sc.wins }
+
+// ensure grows the buffers to hold a b-trial batch for n players and
+// coinCols coin columns.
+func (sc *BatchScratch) ensure(n, coinCols, b int) {
+	if need := n * b; cap(sc.inputs) < need {
+		sc.inputs = make([]float64, need)
+		sc.decisions = make([]Bin, need)
+	} else {
+		sc.inputs = sc.inputs[:need]
+		sc.decisions = sc.decisions[:need]
+	}
+	if need := coinCols * b; cap(sc.coins) < need {
+		sc.coins = make([]float64, need)
+	} else {
+		sc.coins = sc.coins[:need]
+	}
+	if cap(sc.load0) < b {
+		sc.load0 = make([]float64, b)
+		sc.load1 = make([]float64, b)
+		sc.wins = make([]bool, b)
+	} else {
+		sc.load0 = sc.load0[:b]
+		sc.load1 = sc.load1[:b]
+		sc.wins = sc.wins[:b]
+	}
+}
+
+// BatchKernel plays batches of Monte-Carlo trials for one system with no
+// per-trial allocation and no per-player interface dispatch. It is
+// immutable after construction and safe to share across workers (each
+// worker brings its own rng and BatchScratch).
+type BatchKernel struct {
+	capacity float64
+	rules    []BatchRule
+	// coinIx maps player index to its coin column, -1 for coinless
+	// players; coinPlayers lists the coin-drawing players ascending.
+	coinIx      []int
+	coinPlayers []int
+}
+
+// NewBatchKernel builds the batch kernel for the system, or reports
+// ok=false when some player's rule does not implement BatchRule (or
+// declares an unsupported coin arity) — those systems take the per-trial
+// path.
+func NewBatchKernel(sys *System) (*BatchKernel, bool) {
+	if sys == nil {
+		return nil, false
+	}
+	k := &BatchKernel{
+		capacity: sys.capacity,
+		rules:    make([]BatchRule, len(sys.rules)),
+		coinIx:   make([]int, len(sys.rules)),
+	}
+	for i, r := range sys.rules {
+		br, ok := r.(BatchRule)
+		if !ok {
+			return nil, false
+		}
+		k.rules[i] = br
+		switch br.CoinDraws() {
+		case 0:
+			k.coinIx[i] = -1
+		case 1:
+			k.coinIx[i] = len(k.coinPlayers)
+			k.coinPlayers = append(k.coinPlayers, i)
+		default:
+			return nil, false
+		}
+	}
+	return k, true
+}
+
+// N returns the number of players.
+func (k *BatchKernel) N() int { return len(k.rules) }
+
+// Play samples and plays b trials drawn from rng, using sc's buffers, and
+// returns the number of wins. Per-trial win flags are left in
+// sc.Wins()[:b]. The rng draw order is identical to b successive
+// SampleInputs + Play rounds, so batched results are bit-identical to the
+// per-trial path on a fixed stream.
+func (k *BatchKernel) Play(sc *BatchScratch, rng *rand.Rand, b int) int {
+	n := len(k.rules)
+	sc.ensure(n, len(k.coinPlayers), b)
+	inputs, coins := sc.inputs, sc.coins
+
+	// Draw trial-major (the per-trial order), store column-major.
+	for t := 0; t < b; t++ {
+		for i := 0; i < n; i++ {
+			inputs[i*b+t] = rng.Float64()
+		}
+		for c := range k.coinPlayers {
+			coins[c*b+t] = rng.Float64()
+		}
+	}
+
+	// One DecideBatch call per player, on its contiguous column.
+	for i := 0; i < n; i++ {
+		var cs []float64
+		if ci := k.coinIx[i]; ci >= 0 {
+			cs = coins[ci*b : (ci+1)*b]
+		}
+		k.rules[i].DecideBatch(inputs[i*b:(i+1)*b], cs, sc.decisions[i*b:(i+1)*b])
+	}
+
+	// Accumulate bin loads player by player. Per trial the additions run
+	// in ascending player order, matching Play's summation order so the
+	// floating-point results agree bit-for-bit: with d ∈ {0, 1}, the
+	// branch-free x·d / x·(1−d) terms add either exactly x or exactly
+	// +0.0, and adding +0.0 to a non-negative load leaves its bits
+	// unchanged. The multiply form avoids a data-dependent branch that
+	// would mispredict on every other trial.
+	load0, load1 := sc.load0[:b], sc.load1[:b]
+	for t := range load0 {
+		load0[t], load1[t] = 0, 0
+	}
+	for i := 0; i < n; i++ {
+		col := inputs[i*b : (i+1)*b]
+		dec := sc.decisions[i*b : (i+1)*b]
+		for t, x := range col {
+			d := float64(dec[t])
+			load0[t] += x * (1 - d)
+			load1[t] += x * d
+		}
+	}
+
+	wins := 0
+	winbuf := sc.wins[:b]
+	for t := 0; t < b; t++ {
+		w := load0[t] <= k.capacity && load1[t] <= k.capacity
+		winbuf[t] = w
+		if w {
+			wins++
+		}
+	}
+	return wins
+}

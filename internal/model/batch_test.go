@@ -1,0 +1,285 @@
+package model
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// plainRule hides a rule's BatchRule implementation so tests can force
+// the per-trial path.
+type plainRule struct{ r LocalRule }
+
+func (p plainRule) Decide(x float64, rng *rand.Rand) (Bin, error) { return p.r.Decide(x, rng) }
+
+func testRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x94d049bb133111eb))
+}
+
+// TestDecideBatchMatchesDecide pins the core BatchRule contract: for
+// every rule family, DecideBatch must agree element-for-element with
+// Decide given the same inputs and coins.
+func TestDecideBatchMatchesDecide(t *testing.T) {
+	thr, err := NewThresholdRule(0.622)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obl, err := NewObliviousRule(0.37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oblZero, err := NewObliviousRule(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oblOne, err := NewObliviousRule(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivl, err := NewIntervalUnionRule("band", []float64{0.2, 0.6}, []float64{0.45, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewIntervalUnionRule("one", []float64{0.25}, []float64{0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := testRNG(1)
+	const trials = 4096
+	inputs := make([]float64, trials)
+	coins := make([]float64, trials)
+	for k := range inputs {
+		inputs[k] = rng.Float64()
+		coins[k] = rng.Float64()
+	}
+	// Boundary values must agree too.
+	inputs[0], inputs[1], inputs[2] = 0, 1, 0.622
+	inputs[3], inputs[4] = 0.45, 0.6
+
+	for _, tc := range []struct {
+		name string
+		rule BatchRule
+	}{
+		{"threshold", thr},
+		{"oblivious", obl},
+		{"oblivious-p0", oblZero},
+		{"oblivious-p1", oblOne},
+		{"interval-union", ivl},
+		{"interval-single", single},
+	} {
+		out := make([]Bin, trials)
+		var cs []float64
+		switch tc.rule.CoinDraws() {
+		case 0:
+		case 1:
+			cs = coins
+		default:
+			t.Fatalf("%s: unexpected CoinDraws %d", tc.name, tc.rule.CoinDraws())
+		}
+		tc.rule.DecideBatch(inputs, cs, out)
+		for k := range inputs {
+			// Replay the per-trial call with the matching coin as the
+			// only rng draw.
+			want, err := tc.rule.Decide(inputs[k], coinSource(coins[k]))
+			if err != nil {
+				t.Fatalf("%s: Decide: %v", tc.name, err)
+			}
+			if out[k] != want {
+				t.Fatalf("%s: trial %d (x=%v, coin=%v): batch %v, per-trial %v",
+					tc.name, k, inputs[k], coins[k], out[k], want)
+			}
+		}
+	}
+}
+
+// coinSource returns an rng whose next Float64 is exactly c, for any c
+// produced by a real Float64 call (an integer multiple of 2^-53):
+// rand/v2's Float64 reads the low 53 bits of Uint64.
+func coinSource(c float64) *rand.Rand {
+	return rand.New(fixedSource{u: uint64(c * (1 << 53))})
+}
+
+type fixedSource struct{ u uint64 }
+
+func (f fixedSource) Uint64() uint64 { return f.u }
+
+func TestIntervalUnionRuleValidation(t *testing.T) {
+	if _, err := NewIntervalUnionRule("bad", []float64{0.5}, []float64{0.4}); err == nil {
+		t.Error("inverted interval: expected error")
+	}
+	if _, err := NewIntervalUnionRule("bad", []float64{0.1, 0.2}, []float64{0.3, 0.4}); err == nil {
+		t.Error("overlapping intervals: expected error")
+	}
+	if _, err := NewIntervalUnionRule("bad", []float64{0.1}, []float64{0.2, 0.3}); err == nil {
+		t.Error("length mismatch: expected error")
+	}
+	if _, err := NewIntervalUnionRule("bad", []float64{-0.1}, []float64{0.2}); err == nil {
+		t.Error("negative lo: expected error")
+	}
+	empty, err := NewIntervalUnionRule("empty", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, err := empty.Decide(0.5, nil); err != nil || b != Bin1 {
+		t.Errorf("empty union Decide = %v, %v; want Bin1", b, err)
+	}
+}
+
+// TestBatchKernelMatchesPerTrialPlay pins the RNG draw-order invariant at
+// the model level: a BatchKernel.Play batch must reproduce, bit for bit,
+// the outcomes of the same number of SampleInputs + Play rounds on an
+// identically seeded stream — including randomized (coin-drawing) rules.
+func TestBatchKernelMatchesPerTrialPlay(t *testing.T) {
+	thr, _ := NewThresholdRule(0.622)
+	obl, _ := NewObliviousRule(0.37)
+	ivl, err := NewIntervalUnionRule("band", []float64{0.2, 0.6}, []float64{0.45, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem([]LocalRule{thr, obl, ivl, thr}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := NewBatchKernel(sys)
+	if !ok {
+		t.Fatal("expected a batch kernel for batchable rules")
+	}
+	if k.N() != 4 {
+		t.Fatalf("kernel players = %d, want 4", k.N())
+	}
+
+	const b = 777 // odd size exercises the partial-batch path
+	sc := GetBatchScratch()
+	defer sc.Release()
+	batchRNG := testRNG(99)
+	wins := k.Play(sc, batchRNG, b)
+
+	perTrialRNG := testRNG(99)
+	perTrialWins := 0
+	for i := 0; i < b; i++ {
+		inputs, err := sys.SampleInputs(perTrialRNG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := sys.Play(inputs, perTrialRNG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Win != sc.Wins()[i] {
+			t.Fatalf("trial %d: batch win %v, per-trial win %v", i, sc.Wins()[i], out.Win)
+		}
+		if out.Win {
+			perTrialWins++
+		}
+	}
+	if wins != perTrialWins {
+		t.Fatalf("batch wins %d, per-trial wins %d", wins, perTrialWins)
+	}
+	// The two paths must leave their streams in the same state.
+	if a, bb := batchRNG.Uint64(), perTrialRNG.Uint64(); a != bb {
+		t.Fatalf("streams diverged after play: %x vs %x", a, bb)
+	}
+}
+
+// TestNewBatchKernelFallsBack verifies that systems containing a rule
+// without a batch implementation do not get a kernel.
+func TestNewBatchKernelFallsBack(t *testing.T) {
+	thr, _ := NewThresholdRule(0.5)
+	sys, err := NewSystem([]LocalRule{thr, plainRule{thr}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := NewBatchKernel(sys); ok {
+		t.Error("expected no kernel for a non-batch rule")
+	}
+	if _, ok := NewBatchKernel(nil); ok {
+		t.Error("expected no kernel for a nil system")
+	}
+}
+
+// TestBatchKernelPlayAllocationFree pins the zero-allocation contract of
+// the steady-state kernel: once the scratch buffers are warm, Play must
+// not allocate at all.
+func TestBatchKernelPlayAllocationFree(t *testing.T) {
+	thr, _ := NewThresholdRule(0.622)
+	obl, _ := NewObliviousRule(0.37)
+	for _, tc := range []struct {
+		name string
+		rule LocalRule
+	}{
+		{"threshold", thr},
+		{"oblivious", obl},
+	} {
+		sys, err := UniformSystem(3, tc.rule, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, ok := NewBatchKernel(sys)
+		if !ok {
+			t.Fatalf("%s: expected batch kernel", tc.name)
+		}
+		sc := GetBatchScratch()
+		rng := testRNG(5)
+		k.Play(sc, rng, 256) // warm the buffers
+		allocs := testing.AllocsPerRun(10, func() {
+			k.Play(sc, rng, 256)
+		})
+		sc.Release()
+		if allocs != 0 {
+			t.Errorf("%s: steady-state Play allocates %v times per batch, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestPlayIntoReusesBuffers pins the scratch-buffer contract of the
+// per-trial path: SampleInputsInto + PlayInto with caller-owned buffers
+// must not allocate in steady state and must match Play exactly.
+func TestPlayIntoReusesBuffers(t *testing.T) {
+	thr, _ := NewThresholdRule(0.622)
+	sys, err := UniformSystem(3, thr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := testRNG(42), testRNG(42)
+	inputs := make([]float64, sys.N())
+	var out Outcome
+	for i := 0; i < 100; i++ {
+		if err := sys.SampleInputsInto(inputs, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.PlayInto(&out, inputs, a); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := sys.SampleInputs(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sys.Play(fresh, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Win != want.Win || out.Load0 != want.Load0 || out.Load1 != want.Load1 {
+			t.Fatalf("trial %d: PlayInto %+v, Play %+v", i, out, want)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := sys.SampleInputsInto(inputs, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.PlayInto(&out, inputs, a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state SampleInputsInto+PlayInto allocates %v times per trial, want 0", allocs)
+	}
+	if err := sys.PlayInto(nil, inputs, a); err == nil {
+		t.Error("nil outcome: expected error")
+	}
+	if err := sys.SampleInputsInto(inputs[:1], a); err == nil {
+		t.Error("short buffer: expected error")
+	}
+	if err := sys.SampleInputsInto(inputs, nil); err == nil {
+		t.Error("nil rng: expected error")
+	}
+}

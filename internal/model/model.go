@@ -210,20 +210,39 @@ type Outcome struct {
 // one entry per player, each in [0, 1]. rng is passed to randomized rules
 // and may be nil when all rules are deterministic.
 func (s *System) Play(inputs []float64, rng *rand.Rand) (Outcome, error) {
-	if len(inputs) != len(s.rules) {
-		return Outcome{}, fmt.Errorf("model: %d inputs for %d players", len(inputs), len(s.rules))
+	var out Outcome
+	if err := s.PlayInto(&out, inputs, rng); err != nil {
+		return Outcome{}, err
 	}
-	out := Outcome{Decisions: make([]Bin, len(inputs))}
+	return out, nil
+}
+
+// PlayInto evaluates the system like Play but writes the result into a
+// caller-owned Outcome, reusing its Decisions buffer when it has capacity.
+// A worker that keeps one Outcome across trials plays allocation-free.
+func (s *System) PlayInto(out *Outcome, inputs []float64, rng *rand.Rand) error {
+	if out == nil {
+		return fmt.Errorf("model: nil outcome")
+	}
+	if len(inputs) != len(s.rules) {
+		return fmt.Errorf("model: %d inputs for %d players", len(inputs), len(s.rules))
+	}
+	if cap(out.Decisions) < len(inputs) {
+		out.Decisions = make([]Bin, len(inputs))
+	} else {
+		out.Decisions = out.Decisions[:len(inputs)]
+	}
+	out.Load0, out.Load1, out.Win = 0, 0, false
 	for i, x := range inputs {
 		if math.IsNaN(x) || x < 0 || x > 1 {
-			return Outcome{}, fmt.Errorf("model: input %d = %v outside [0, 1]", i, x)
+			return fmt.Errorf("model: input %d = %v outside [0, 1]", i, x)
 		}
 		bin, err := s.rules[i].Decide(x, rng)
 		if err != nil {
-			return Outcome{}, fmt.Errorf("model: player %d decision failed: %w", i, err)
+			return fmt.Errorf("model: player %d decision failed: %w", i, err)
 		}
 		if bin != Bin0 && bin != Bin1 {
-			return Outcome{}, fmt.Errorf("model: player %d chose invalid bin %d", i, bin)
+			return fmt.Errorf("model: player %d chose invalid bin %d", i, bin)
 		}
 		out.Decisions[i] = bin
 		if bin == Bin0 {
@@ -233,20 +252,33 @@ func (s *System) Play(inputs []float64, rng *rand.Rand) (Outcome, error) {
 		}
 	}
 	out.Win = out.Load0 <= s.capacity && out.Load1 <= s.capacity
-	return out, nil
+	return nil
 }
 
 // SampleInputs draws one uniform input vector for the system's n players.
 // It returns an error if rng is nil.
 func (s *System) SampleInputs(rng *rand.Rand) ([]float64, error) {
-	if rng == nil {
-		return nil, fmt.Errorf("model: nil random source")
-	}
 	inputs := make([]float64, len(s.rules))
-	for i := range inputs {
-		inputs[i] = rng.Float64()
+	if err := s.SampleInputsInto(inputs, rng); err != nil {
+		return nil, err
 	}
 	return inputs, nil
+}
+
+// SampleInputsInto fills the caller-owned dst (one slot per player) with a
+// uniform input vector, drawing in the same order as SampleInputs so the
+// two are interchangeable on a fixed stream.
+func (s *System) SampleInputsInto(dst []float64, rng *rand.Rand) error {
+	if rng == nil {
+		return fmt.Errorf("model: nil random source")
+	}
+	if len(dst) != len(s.rules) {
+		return fmt.Errorf("model: %d input slots for %d players", len(dst), len(s.rules))
+	}
+	for i := range dst {
+		dst[i] = rng.Float64()
+	}
+	return nil
 }
 
 // FeasibleAssignmentExists reports whether some assignment of the given

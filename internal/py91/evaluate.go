@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"sync"
 
+	"repro/internal/model"
 	"repro/internal/optimize"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -33,7 +34,16 @@ type Evaluation struct {
 	Trials int64
 }
 
+// evalBatchSize is how many trials the batched evaluation path samples
+// and decides per BatchProtocol call.
+const evalBatchSize = 256
+
 // Evaluate estimates a protocol's winning probability by simulation.
+// Protocols that implement BatchProtocol (the threshold and
+// weighted-average families) are decided in batches of pre-sampled
+// trials, skipping the per-trial interface dispatch; the draw order is
+// the same either way, so the estimate for a fixed (Seed, Workers) pair
+// does not depend on which path runs.
 func Evaluate(p Protocol, cfg SimConfig) (Evaluation, error) {
 	if p == nil {
 		return Evaluation{}, fmt.Errorf("py91: nil protocol")
@@ -45,6 +55,7 @@ func Evaluate(p Protocol, cfg SimConfig) (Evaluation, error) {
 	if err != nil {
 		return Evaluation{}, fmt.Errorf("py91: %w", err)
 	}
+	bp, batched := p.(BatchProtocol)
 	counters := make([]stats.Proportion, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -60,6 +71,10 @@ func Evaluate(p Protocol, cfg SimConfig) (Evaluation, error) {
 			defer wg.Done()
 			s := cfg.Seed + 0x9e3779b97f4a7c15*uint64(w+1)
 			rng := rand.New(rand.NewPCG(s, s^0xda3e39cb94b95bdb))
+			if batched {
+				evalBatched(bp, rng, quota, &counters[w])
+				return
+			}
 			for i := 0; i < quota; i++ {
 				var x [Players]float64
 				for j := range x {
@@ -99,6 +114,43 @@ func Evaluate(p Protocol, cfg SimConfig) (Evaluation, error) {
 		StdErr:   total.StdErr(),
 		Trials:   total.Trials(),
 	}, nil
+}
+
+// evalBatched is one worker's batched evaluation loop: sample a batch of
+// input vectors (in the per-trial draw order), decide them with a single
+// DecideBatch call, and count wins. The buffers are allocated once per
+// worker, so the steady-state loop allocates nothing per trial.
+func evalBatched(bp BatchProtocol, rng *rand.Rand, quota int, counter *stats.Proportion) {
+	xs := make([]float64, evalBatchSize*Players)
+	outs := make([][Players]model.Bin, evalBatchSize)
+	var wins, trials int64
+	for done := 0; done < quota; {
+		b := evalBatchSize
+		if quota-done < b {
+			b = quota - done
+		}
+		batch := xs[:b*Players]
+		for j := range batch {
+			batch[j] = rng.Float64()
+		}
+		bp.DecideBatch(batch, outs[:b])
+		for t := 0; t < b; t++ {
+			var load0, load1 float64
+			for j := 0; j < Players; j++ {
+				x := batch[t*Players+j]
+				d := float64(outs[t][j])
+				load0 += x * (1 - d)
+				load1 += x * d
+			}
+			if load0 <= Capacity && load1 <= Capacity {
+				wins++
+			}
+		}
+		trials += int64(b)
+		done += b
+	}
+	// Cannot fail: wins ≤ trials and both are non-negative.
+	_ = counter.AddN(wins, trials)
 }
 
 // OptimizeWeighted tunes a weighted-average protocol's four parameters by

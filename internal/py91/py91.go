@@ -79,6 +79,18 @@ type Protocol interface {
 	Decide(x [Players]float64) ([Players]model.Bin, error)
 }
 
+// BatchProtocol is implemented by protocols that can decide many
+// pre-sampled trials in one call, letting the Monte-Carlo evaluator skip
+// the per-trial interface dispatch through Decide. Trial t's inputs are
+// xs[t*Players : (t+1)*Players] (the order they were drawn in), and
+// out[t] receives the three bin choices. Implementations must agree with
+// Decide element for element.
+type BatchProtocol interface {
+	Protocol
+	// DecideBatch decides len(out) trials; len(xs) = len(out)*Players.
+	DecideBatch(xs []float64, out [][Players]model.Bin)
+}
+
 // ThresholdProtocol is the no-communication member of the PY91 family:
 // player i chooses bin 0 exactly when x_i ≤ Theta[i].
 type ThresholdProtocol struct {
@@ -123,6 +135,17 @@ func (p *ThresholdProtocol) Decide(x [Players]float64) ([Players]model.Bin, erro
 		}
 	}
 	return out, nil
+}
+
+// DecideBatch implements BatchProtocol.
+func (p *ThresholdProtocol) DecideBatch(xs []float64, out [][Players]model.Bin) {
+	t0, t1, t2 := p.Theta[0], p.Theta[1], p.Theta[2]
+	for t := range out {
+		x := xs[t*Players : t*Players+Players]
+		out[t][0] = binFor(x[0] <= t0)
+		out[t][1] = binFor(x[1] <= t1)
+		out[t][2] = binFor(x[2] <= t2)
+	}
 }
 
 // ExactWinProbability evaluates the threshold protocol exactly through the
@@ -189,6 +212,23 @@ func (p *WeightedAverageProtocol) Decide(x [Players]float64) ([Players]model.Bin
 	return out, nil
 }
 
+// DecideBatch implements BatchProtocol, hoisting the pattern branch out
+// of the trial loop.
+func (p *WeightedAverageProtocol) DecideBatch(xs []float64, out [][Players]model.Bin) {
+	w, t0, t1, t2 := p.W, p.Theta0, p.Theta1, p.Theta2
+	broadcast := p.CommPattern == Broadcast
+	for t := range out {
+		x := xs[t*Players : t*Players+Players]
+		out[t][0] = binFor(x[0] <= t0)
+		out[t][1] = binFor(w*x[0]+(1-w)*x[1] <= t1)
+		if broadcast {
+			out[t][2] = binFor(w*x[0]+(1-w)*x[2] <= t2)
+		} else {
+			out[t][2] = binFor(x[2] <= t2)
+		}
+	}
+}
+
 func binFor(low bool) model.Bin {
 	if low {
 		return model.Bin0
@@ -236,7 +276,9 @@ func (FullInformationProtocol) Decide(x [Players]float64) ([Players]model.Bin, e
 
 // Compile-time interface compliance checks.
 var (
-	_ Protocol = (*ThresholdProtocol)(nil)
-	_ Protocol = (*WeightedAverageProtocol)(nil)
-	_ Protocol = FullInformationProtocol{}
+	_ Protocol      = (*ThresholdProtocol)(nil)
+	_ Protocol      = (*WeightedAverageProtocol)(nil)
+	_ Protocol      = FullInformationProtocol{}
+	_ BatchProtocol = (*ThresholdProtocol)(nil)
+	_ BatchProtocol = (*WeightedAverageProtocol)(nil)
 )

@@ -149,14 +149,16 @@ func (s IntervalSet) Complement() IntervalSet {
 	return set
 }
 
-// Rule adapts the set to a model.LocalRule for the simulator.
-func (s IntervalSet) Rule(name string) (model.FuncRule, error) {
-	return model.NewFuncRule(name, func(x float64) model.Bin {
-		if s.Contains(x) {
-			return model.Bin0
-		}
-		return model.Bin1
-	})
+// Rule adapts the set to a model.LocalRule for the simulator. The
+// returned rule implements model.BatchRule, so simulations of interval
+// systems take the Monte-Carlo engine's allocation-free batch path.
+func (s IntervalSet) Rule(name string) (model.IntervalUnionRule, error) {
+	los := make([]float64, len(s.intervals))
+	his := make([]float64, len(s.intervals))
+	for j, iv := range s.intervals {
+		los[j], his[j] = iv.Lo, iv.Hi
+	}
+	return model.NewIntervalUnionRule(name, los, his)
 }
 
 // String renders the set as a union of intervals.

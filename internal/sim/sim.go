@@ -6,10 +6,13 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +32,12 @@ var ErrRuleFailed = errors.New("trial failed")
 // defaultCheckpoints is the number of convergence checkpoints emitted per
 // run when Config.CheckpointEvery is left zero.
 const defaultCheckpoints = 20
+
+// batchSize is how many trials the batched kernel samples and plays per
+// iteration. Large enough to amortize the per-batch bookkeeping, small
+// enough that the scratch buffers stay L1/L2-resident for the paper's
+// player counts.
+const batchSize = 256
 
 // Config controls a simulation run.
 type Config struct {
@@ -148,45 +157,66 @@ func resultFrom(p stats.Proportion) (Result, error) {
 // trialFunc plays one round and reports success.
 type trialFunc func(rng *rand.Rand) (bool, error)
 
+// trialFactory builds worker w's trial function. It runs inside the
+// worker goroutine, so the returned closure may own scratch buffers
+// (input vectors, reusable Outcomes) without any cross-worker sharing.
+type trialFactory func(w int) trialFunc
+
 // wrapTrialErr classifies a mid-trial failure under ErrRuleFailed while
 // keeping the cause in the chain.
 func wrapTrialErr(err error) error {
 	return fmt.Errorf("sim: %w: %w", ErrRuleFailed, err)
 }
 
-// runBernoulli fans trials out over workers and merges the counts. The
-// name labels the run's root span when observability is on.
-func runBernoulli(cfg Config, name string, trial trialFunc) (Result, error) {
+// runLabeled runs a worker body under a pprof goroutine label so
+// -cpuprofile output attributes hot-loop samples per sim worker.
+func runLabeled(w int, body func()) {
+	pprof.Do(context.Background(), pprof.Labels("sim_worker", strconv.Itoa(w)), func(context.Context) {
+		body()
+	})
+}
+
+// splitQuota returns worker w's share of the trial budget.
+func splitQuota(trials, workers, w int) int {
+	quota := trials / workers
+	if w < trials%workers {
+		quota++
+	}
+	return quota
+}
+
+// runBernoulli fans per-trial rounds out over workers and merges the
+// counts. The name labels the run's root span when observability is on.
+// This is the generic path: the batched kernel in runBatch handles
+// systems whose rules all implement model.BatchRule.
+func runBernoulli(cfg Config, name string, newTrial trialFactory) (Result, error) {
 	cfg, err := cfg.validate()
 	if err != nil {
 		return Result{}, err
 	}
 	if cfg.Obs.Enabled() {
-		return runBernoulliObserved(cfg, name, trial)
+		return runBernoulliObserved(cfg, name, newTrial)
 	}
 	counters := make([]stats.Proportion, cfg.Workers)
 	errs := make([]error, cfg.Workers)
 	var wg sync.WaitGroup
-	base := cfg.Trials / cfg.Workers
-	extra := cfg.Trials % cfg.Workers
 	for w := 0; w < cfg.Workers; w++ {
-		quota := base
-		if w < extra {
-			quota++
-		}
 		wg.Add(1)
 		go func(w, quota int) {
 			defer wg.Done()
-			rng := cfg.workerRNG(w)
-			for i := 0; i < quota; i++ {
-				ok, err := trial(rng)
-				if err != nil {
-					errs[w] = err
-					return
+			runLabeled(w, func() {
+				trial := newTrial(w)
+				rng := cfg.workerRNG(w)
+				for i := 0; i < quota; i++ {
+					ok, err := trial(rng)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					counters[w].Add(ok)
 				}
-				counters[w].Add(ok)
-			}
-		}(w, quota)
+			})
+		}(w, splitQuota(cfg.Trials, cfg.Workers, w))
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -206,11 +236,62 @@ func runBernoulli(cfg Config, name string, trial trialFunc) (Result, error) {
 // and without observability), plus a root span with one child span per
 // worker, RNG-draw accounting, per-worker throughput gauges, and a
 // convergence checkpoint trace emitted every cfg.CheckpointEvery trials.
-func runBernoulliObserved(cfg Config, name string, trial trialFunc) (Result, error) {
+func runBernoulliObserved(cfg Config, name string, newTrial trialFactory) (Result, error) {
 	o := cfg.Obs
 	root := o.StartSpan("sim." + name)
 	defer root.End()
 
+	ck := newCheckpointer(cfg, o)
+	counters := make([]stats.Proportion, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var rngDraws atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			runLabeled(w, func() {
+				sp := root.Child(fmt.Sprintf("worker[%d]", w))
+				defer sp.End()
+				trial := newTrial(w)
+				src := &countingSource{src: cfg.workerSource(w)}
+				rng := rand.New(src)
+				start := time.Now()
+				done := 0
+				for i := 0; i < quota; i++ {
+					ok, err := trial(rng)
+					if err != nil {
+						errs[w] = err
+						break
+					}
+					counters[w].Add(ok)
+					done++
+					ck.record(ok)
+				}
+				rngDraws.Add(src.n)
+				if el := time.Since(start).Seconds(); el > 0 && done > 0 {
+					o.Gauge(fmt.Sprintf("sim.worker.%d.trials_per_sec", w)).Set(float64(done) / el)
+				}
+			})
+		}(w, splitQuota(cfg.Trials, cfg.Workers, w))
+	}
+	wg.Wait()
+	return finishObserved(o, counters, errs, rngDraws.Load())
+}
+
+// checkpointer carries the shared convergence-trace state of an observed
+// run: atomic live counts and the checkpoint cadence. Both the per-trial
+// and the batched observed paths record through it trial by trial, so the
+// checkpoint stream is identical between them.
+type checkpointer struct {
+	o          *obs.Observer
+	every      int64
+	estHist    *obs.Histogram
+	liveTrials atomic.Int64
+	liveWins   atomic.Int64
+}
+
+func newCheckpointer(cfg Config, o *obs.Observer) *checkpointer {
 	every := int64(cfg.CheckpointEvery)
 	if every == 0 {
 		every = int64(cfg.Trials / defaultCheckpoints)
@@ -218,53 +299,25 @@ func runBernoulliObserved(cfg Config, name string, trial trialFunc) (Result, err
 			every = 1
 		}
 	}
-	var liveTrials, liveWins, rngDraws atomic.Int64
-	estHist := o.Histogram("sim.estimate", 0, 1, 20)
+	return &checkpointer{o: o, every: every, estHist: o.Histogram("sim.estimate", 0, 1, 20)}
+}
 
-	counters := make([]stats.Proportion, cfg.Workers)
-	errs := make([]error, cfg.Workers)
-	var wg sync.WaitGroup
-	base := cfg.Trials / cfg.Workers
-	extra := cfg.Trials % cfg.Workers
-	for w := 0; w < cfg.Workers; w++ {
-		quota := base
-		if w < extra {
-			quota++
-		}
-		wg.Add(1)
-		go func(w, quota int) {
-			defer wg.Done()
-			sp := root.Child(fmt.Sprintf("worker[%d]", w))
-			defer sp.End()
-			src := &countingSource{src: cfg.workerSource(w)}
-			rng := rand.New(src)
-			start := time.Now()
-			done := 0
-			for i := 0; i < quota; i++ {
-				ok, err := trial(rng)
-				if err != nil {
-					errs[w] = err
-					break
-				}
-				counters[w].Add(ok)
-				done++
-				if ok {
-					liveWins.Add(1)
-				}
-				if nt := liveTrials.Add(1); nt%every == 0 {
-					emitCheckpoint(o, liveWins.Load(), nt, estHist)
-				}
-			}
-			rngDraws.Add(src.n)
-			if el := time.Since(start).Seconds(); el > 0 && done > 0 {
-				o.Gauge(fmt.Sprintf("sim.worker.%d.trials_per_sec", w)).Set(float64(done) / el)
-			}
-		}(w, quota)
+// record accounts one finished trial and emits a checkpoint whenever the
+// global trial count crosses a cadence boundary.
+func (c *checkpointer) record(win bool) {
+	if win {
+		c.liveWins.Add(1)
 	}
-	wg.Wait()
+	if nt := c.liveTrials.Add(1); nt%c.every == 0 {
+		emitCheckpoint(c.o, c.liveWins.Load(), nt, c.estHist)
+	}
+}
 
+// finishObserved merges worker counters into the final observed Result
+// and flushes the run-level counters.
+func finishObserved(o *obs.Observer, counters []stats.Proportion, errs []error, rngDraws int64) (Result, error) {
 	o.Counter("sim.runs").Inc()
-	o.Counter("sim.rng_draws").Add(rngDraws.Load())
+	o.Counter("sim.rng_draws").Add(rngDraws)
 	var total stats.Proportion
 	for _, c := range counters {
 		total.Merge(c)
@@ -279,6 +332,109 @@ func runBernoulliObserved(cfg Config, name string, trial trialFunc) (Result, err
 		}
 	}
 	return resultFrom(total)
+}
+
+// runBatch is the allocation-free fast path: each worker samples and
+// plays batchSize trials per kernel call from pooled scratch buffers —
+// no per-trial slices, no per-player interface dispatch. Seeding and
+// per-worker quotas match runBernoulli exactly, and the kernel preserves
+// the per-trial RNG draw order, so results are bit-identical to the
+// per-trial path for a fixed (Seed, Workers) pair.
+func runBatch(cfg Config, name string, k *model.BatchKernel) (Result, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Obs.Enabled() {
+		return runBatchObserved(cfg, name, k)
+	}
+	counters := make([]stats.Proportion, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			runLabeled(w, func() {
+				rng := cfg.workerRNG(w)
+				sc := model.GetBatchScratch()
+				defer sc.Release()
+				var wins, trials int64
+				for done := 0; done < quota; {
+					b := batchSize
+					if quota-done < b {
+						b = quota - done
+					}
+					wins += int64(k.Play(sc, rng, b))
+					trials += int64(b)
+					done += b
+				}
+				errs[w] = counters[w].AddN(wins, trials)
+			})
+		}(w, splitQuota(cfg.Trials, cfg.Workers, w))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	var total stats.Proportion
+	for _, c := range counters {
+		total.Merge(c)
+	}
+	return resultFrom(total)
+}
+
+// runBatchObserved is the instrumented twin of runBatch: worker counters
+// update at batch granularity, while the convergence checkpointer replays
+// the batch's per-trial win flags so the checkpoint stream (cadence and
+// values) is identical to the per-trial observed path.
+func runBatchObserved(cfg Config, name string, k *model.BatchKernel) (Result, error) {
+	o := cfg.Obs
+	root := o.StartSpan("sim." + name)
+	defer root.End()
+
+	ck := newCheckpointer(cfg, o)
+	counters := make([]stats.Proportion, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var rngDraws atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			runLabeled(w, func() {
+				sp := root.Child(fmt.Sprintf("worker[%d]", w))
+				defer sp.End()
+				src := &countingSource{src: cfg.workerSource(w)}
+				rng := rand.New(src)
+				sc := model.GetBatchScratch()
+				defer sc.Release()
+				start := time.Now()
+				var wins, trials int64
+				for done := 0; done < quota; {
+					b := batchSize
+					if quota-done < b {
+						b = quota - done
+					}
+					wins += int64(k.Play(sc, rng, b))
+					trials += int64(b)
+					done += b
+					for _, win := range sc.Wins()[:b] {
+						ck.record(win)
+					}
+				}
+				errs[w] = counters[w].AddN(wins, trials)
+				rngDraws.Add(src.n)
+				if el := time.Since(start).Seconds(); el > 0 && trials > 0 {
+					o.Gauge(fmt.Sprintf("sim.worker.%d.trials_per_sec", w)).Set(float64(trials) / el)
+				}
+			})
+		}(w, splitQuota(cfg.Trials, cfg.Workers, w))
+	}
+	wg.Wait()
+	return finishObserved(o, counters, errs, rngDraws.Load())
 }
 
 // emitCheckpoint records one point of the convergence trace: the running
@@ -313,21 +469,31 @@ func emitCheckpoint(o *obs.Observer, wins, nt int64, estHist *obs.Histogram) {
 }
 
 // WinProbability estimates the winning probability P_A(δ) of the system by
-// playing cfg.Trials independent rounds.
+// playing cfg.Trials independent rounds. Systems whose rules all implement
+// model.BatchRule (threshold, oblivious-coin and interval-set rules) run
+// through the allocation-free batched kernel; everything else takes the
+// per-trial path with per-worker reusable buffers. Both paths draw the
+// same RNG sequence, so the estimate for a fixed (Seed, Workers) pair does
+// not depend on which one runs.
 func WinProbability(sys *model.System, cfg Config) (Result, error) {
 	if sys == nil {
 		return Result{}, fmt.Errorf("sim: nil system")
 	}
-	return runBernoulli(cfg, "win_probability", func(rng *rand.Rand) (bool, error) {
-		inputs, err := sys.SampleInputs(rng)
-		if err != nil {
-			return false, err
+	if k, ok := model.NewBatchKernel(sys); ok {
+		return runBatch(cfg, "win_probability", k)
+	}
+	return runBernoulli(cfg, "win_probability", func(int) trialFunc {
+		inputs := make([]float64, sys.N())
+		var out model.Outcome
+		return func(rng *rand.Rand) (bool, error) {
+			if err := sys.SampleInputsInto(inputs, rng); err != nil {
+				return false, err
+			}
+			if err := sys.PlayInto(&out, inputs, rng); err != nil {
+				return false, err
+			}
+			return out.Win, nil
 		}
-		out, err := sys.Play(inputs, rng)
-		if err != nil {
-			return false, err
-		}
-		return out.Win, nil
 	})
 }
 
@@ -345,12 +511,14 @@ func FeasibilityProbability(n int, capacity float64, cfg Config) (Result, error)
 	if !(capacity > 0) {
 		return Result{}, fmt.Errorf("sim: capacity %v must be strictly positive", capacity)
 	}
-	return runBernoulli(cfg, "feasibility", func(rng *rand.Rand) (bool, error) {
+	return runBernoulli(cfg, "feasibility", func(int) trialFunc {
 		inputs := make([]float64, n)
-		for i := range inputs {
-			inputs[i] = rng.Float64()
+		return func(rng *rand.Rand) (bool, error) {
+			for i := range inputs {
+				inputs[i] = rng.Float64()
+			}
+			return model.FeasibleAssignmentExists(inputs, capacity)
 		}
-		return model.FeasibleAssignmentExists(inputs, capacity)
 	})
 }
 
@@ -373,31 +541,27 @@ func LoadStats(sys *model.System, cfg Config, metric func(model.Outcome) float64
 	accs := make([]stats.Running, cfg.Workers)
 	errs := make([]error, cfg.Workers)
 	var wg sync.WaitGroup
-	base := cfg.Trials / cfg.Workers
-	extra := cfg.Trials % cfg.Workers
 	for w := 0; w < cfg.Workers; w++ {
-		quota := base
-		if w < extra {
-			quota++
-		}
 		wg.Add(1)
 		go func(w, quota int) {
 			defer wg.Done()
-			rng := cfg.workerRNG(w)
-			for i := 0; i < quota; i++ {
-				inputs, err := sys.SampleInputs(rng)
-				if err != nil {
-					errs[w] = err
-					return
+			runLabeled(w, func() {
+				rng := cfg.workerRNG(w)
+				inputs := make([]float64, sys.N())
+				var out model.Outcome
+				for i := 0; i < quota; i++ {
+					if err := sys.SampleInputsInto(inputs, rng); err != nil {
+						errs[w] = err
+						return
+					}
+					if err := sys.PlayInto(&out, inputs, rng); err != nil {
+						errs[w] = err
+						return
+					}
+					accs[w].Add(metric(out))
 				}
-				out, err := sys.Play(inputs, rng)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				accs[w].Add(metric(out))
-			}
-		}(w, quota)
+			})
+		}(w, splitQuota(cfg.Trials, cfg.Workers, w))
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -428,5 +592,5 @@ func Bernoulli(cfg Config, name string, trial func(rng *rand.Rand) (bool, error)
 	if name == "" {
 		name = "bernoulli"
 	}
-	return runBernoulli(cfg, name, trial)
+	return runBernoulli(cfg, name, func(int) trialFunc { return trial })
 }
