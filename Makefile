@@ -2,7 +2,7 @@
 # in ROADMAP.md; the race target covers the concurrency-heavy packages
 # (the Monte-Carlo engine with its batch kernel and scratch pools, the
 # metrics/span layer it feeds, and the memoizing evaluation engine with
-# its sharded sweeps).
+# its sharded sweeps) plus the canonical problem package they all share.
 
 GO ?= go
 
@@ -13,7 +13,17 @@ BENCHTIME ?= 1s
 PKG ?= ./...
 LABEL ?= dev
 
-.PHONY: build test race vet bench bench-json ci
+# Benchmark-regression gate: `make bench-check` compares two labeled
+# snapshots already recorded in BENCH_sim.json and fails on >10%
+# regressions in ns/op. Override the pair with BENCH_BASE/BENCH_HEAD, or
+# skip the gate entirely with BENCH_CHECK=0 (escape hatch for machines
+# whose snapshots were recorded elsewhere); re-baseline with
+# `make bench-json LABEL=<new-label>`.
+BENCH_BASE ?= pre-batch-baseline
+BENCH_HEAD ?= post-batch
+BENCH_CHECK ?= 1
+
+.PHONY: build test race vet bench bench-json bench-check ci
 
 build:
 	$(GO) build ./...
@@ -22,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/model/... ./internal/sim/... ./internal/obs/... ./internal/engine/...
+	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/sim/... ./internal/obs/... ./internal/engine/...
 
 vet:
 	$(GO) vet ./...
@@ -33,4 +43,11 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) $(PKG) | $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_sim.json
 
-ci: build vet test race
+bench-check:
+ifeq ($(BENCH_CHECK),0)
+	@echo "bench-check: skipped (BENCH_CHECK=0)"
+else
+	$(GO) run ./cmd/benchjson -check $(BENCH_BASE),$(BENCH_HEAD)
+endif
+
+ci: build vet test race bench-check

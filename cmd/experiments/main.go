@@ -17,6 +17,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/problem"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,7 @@ func run(args []string) (err error) {
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
 	backend := fs.String("backend", "auto", "evaluation backend: exact, mc or auto")
+	piStr := fs.String("pi", "", "comma-separated per-player input ranges π_i for experiments that accept heterogeneous instances (e.g. T10)")
 	obsPath := fs.String("obs", "", "append a JSONL observability run log to this file")
 	metrics := fs.Bool("metrics", false, "print a JSON metrics snapshot on exit")
 	if err := fs.Parse(args); err != nil {
@@ -68,12 +70,16 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	pi, err := problem.ParsePi(*piStr)
+	if err != nil {
+		return err
+	}
 	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers, Obs: o}
 	// One shared engine so evaluations repeated across experiments (e.g. the
 	// same (n, δ, rule) point appearing in a figure and a table) are served
 	// from the memoization cache, and so -metrics shows one hit/miss tally.
 	eng := engine.New(engine.Config{Sim: cfg, Obs: o})
-	params := harness.Params{Points: *points, Sim: cfg, Backend: b, Engine: eng}
+	params := harness.Params{Points: *points, Sim: cfg, Backend: b, Pi: pi, Engine: eng}
 	var summary strings.Builder
 	for _, id := range harness.IDs() {
 		exp, err := harness.Lookup(id)

@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -58,6 +59,65 @@ func TestTableGolden(t *testing.T) {
 			got := captureStdout(t, func() error { return run(c.args) })
 			if got != string(want) {
 				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", c.golden, got, want)
+			}
+		})
+	}
+}
+
+// TestHeteroGolden pins the heterogeneous -pi outputs byte-for-byte: the
+// T10 table (Monte-Carlo columns, so trials/seed/workers are fixed) and
+// an exact eval where n is derived from the π vector. Drift here means
+// the Lemma 2.4/2.7 subset-sum evaluators or the widths-aware sampling
+// kernel changed behavior.
+func TestHeteroGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{"table hetero", []string{"table", "hetero", "-trials", "50000", "-seed", "7", "-workers", "2"}, "table_hetero.golden"},
+		{"eval hetero", []string{"eval", "-pi", "0.5,1,0.75", "-delta", "1", "-kind", "threshold", "-param", "0.5"}, "eval_hetero.golden"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", c.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := captureStdout(t, func() error { return run(c.args) })
+			if got != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", c.golden, got, want)
+			}
+		})
+	}
+}
+
+// TestPiFlagErrors exercises the malformed-π error paths shared by eval,
+// simulate and table: parse failures, non-positive entries, and a π
+// length that contradicts an explicit -n.
+func TestPiFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"empty entry", []string{"eval", "-pi", "0.5,,1"}, "empty entry"},
+		{"not a number", []string{"eval", "-pi", "0.5,x"}, "not a number"},
+		{"negative width", []string{"eval", "-pi", "0.5,-1"}, "strictly positive"},
+		{"zero width", []string{"simulate", "-pi", "0,1", "-trials", "100"}, "strictly positive"},
+		{"length vs explicit n", []string{"eval", "-n", "4", "-pi", "0.5,1"}, "players"},
+		{"table bad pi", []string{"table", "hetero", "-pi", "1,,1"}, "empty entry"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.args)
+			if err == nil {
+				t.Fatalf("run(%v): expected error", c.args)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("run(%v): error %q should mention %q", c.args, err, c.want)
 			}
 		})
 	}

@@ -19,6 +19,15 @@
 // simulation, or auto (exact when available). Figure and table ids accept
 // mnemonic aliases (`nocomm table oblivious` = T1), case-insensitively.
 //
+// eval, simulate and table also accept -pi, a comma-separated list of
+// per-player input ranges for the heterogeneous game x_i ~ U[0, π_i]:
+//
+//	nocomm eval  -pi 0.5,1,0.75 -delta 1 -kind threshold -param 0.5
+//	nocomm table hetero -pi 0.5,1,1 -trials 200000
+//
+// When -pi is given and -n is left unset, n follows the length of the π
+// vector.
+//
 // Every workload subcommand also accepts the global observability flags
 // (before or after the subcommand name):
 //
@@ -45,6 +54,7 @@ import (
 	"repro/internal/oblivious"
 	"repro/internal/obs"
 	"repro/internal/optimize"
+	"repro/internal/problem"
 	"repro/internal/sim"
 )
 
@@ -218,10 +228,50 @@ func instanceFlags(fs *flag.FlagSet) (n *int, delta *float64) {
 	return n, delta
 }
 
+// piFlag registers the shared -pi flag for subcommands that accept the
+// heterogeneous game x_i ~ U[0, π_i].
+func piFlag(fs *flag.FlagSet) *string {
+	return fs.String("pi", "", "comma-separated per-player input ranges π_i (heterogeneous x_i ~ U[0, π_i]; sets n when -n is unset)")
+}
+
+// resolveInstance builds the instance from -n/-delta/-pi after fs has
+// been parsed. When -pi is given and -n was left at its default, the
+// player count follows the length of the π vector.
+func resolveInstance(fs *flag.FlagSet, n int, delta float64, piStr string) (core.Instance, error) {
+	pi, err := problem.ParsePi(piStr)
+	if err != nil {
+		return core.Instance{}, err
+	}
+	if pi != nil {
+		nSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				nSet = true
+			}
+		})
+		if !nSet {
+			n = len(pi)
+		}
+	}
+	return core.NewInstancePi(n, delta, pi)
+}
+
+// describeInstance renders the "n=3 δ=1" output prefix, extended with
+// the π vector when the instance is heterogeneous. The homogeneous form
+// is kept byte-identical to the pre-π output.
+func describeInstance(inst core.Instance) string {
+	s := fmt.Sprintf("n=%d δ=%g", inst.N, inst.Delta)
+	if inst.Heterogeneous() {
+		s += fmt.Sprintf(" π=(%s)", problem.FormatPi(inst.Pi))
+	}
+	return s
+}
+
 func cmdEval(g *obsFlags, args []string) (err error) {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 	g.register(fs)
 	n, delta := instanceFlags(fs)
+	piStr := piFlag(fs)
 	kind := fs.String("kind", "threshold", "algorithm kind: threshold or oblivious")
 	param := fs.Float64("param", 0.5, "common threshold β (threshold) or bin-0 probability a (oblivious)")
 	backend := fs.String("backend", "exact", "evaluation backend: exact, mc or auto")
@@ -240,7 +290,7 @@ func cmdEval(g *obsFlags, args []string) (err error) {
 		return err
 	}
 	defer sess.finish(&err)
-	inst, err := core.NewInstance(*n, *delta)
+	inst, err := resolveInstance(fs, *n, *delta, *piStr)
 	if err != nil {
 		return err
 	}
@@ -262,10 +312,10 @@ func cmdEval(g *obsFlags, args []string) (err error) {
 		return err
 	}
 	if res.Backend == engine.MonteCarlo {
-		fmt.Printf("n=%d δ=%g %s(%g): P(win) = %.9f ± %.6f (mc, %d trials)\n",
-			*n, *delta, *kind, *param, res.P, res.StdErr, res.Sim.Trials)
+		fmt.Printf("%s %s(%g): P(win) = %.9f ± %.6f (mc, %d trials)\n",
+			describeInstance(inst), *kind, *param, res.P, res.StdErr, res.Sim.Trials)
 	} else {
-		fmt.Printf("n=%d δ=%g %s(%g): P(win) = %.9f\n", *n, *delta, *kind, *param, res.P)
+		fmt.Printf("%s %s(%g): P(win) = %.9f\n", describeInstance(inst), *kind, *param, res.P)
 	}
 	return nil
 }
@@ -362,6 +412,7 @@ func cmdSimulate(g *obsFlags, args []string) (err error) {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	g.register(fs)
 	n, delta := instanceFlags(fs)
+	piStr := piFlag(fs)
 	kind := fs.String("kind", "threshold", "algorithm kind: threshold, oblivious, or feasibility")
 	param := fs.Float64("param", 0.5, "algorithm parameter")
 	trials := fs.Int("trials", 1_000_000, "number of Monte-Carlo trials")
@@ -376,7 +427,7 @@ func cmdSimulate(g *obsFlags, args []string) (err error) {
 		return err
 	}
 	defer sess.finish(&err)
-	inst, err := core.NewInstance(*n, *delta)
+	inst, err := resolveInstance(fs, *n, *delta, *piStr)
 	if err != nil {
 		return err
 	}
@@ -398,8 +449,8 @@ func cmdSimulate(g *obsFlags, args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("n=%d δ=%g %s(%g): P = %.6f ± %.6f (95%% CI [%.6f, %.6f], %d trials)\n",
-		*n, *delta, *kind, *param, res.P, res.StdErr, res.CILo, res.CIHi, res.Trials)
+	fmt.Printf("%s %s(%g): P = %.6f ± %.6f (95%% CI [%.6f, %.6f], %d trials)\n",
+		describeInstance(inst), *kind, *param, res.P, res.StdErr, res.CILo, res.CIHi, res.Trials)
 	return nil
 }
 
@@ -476,7 +527,7 @@ func cmdFigure(g *obsFlags, args []string) (err error) {
 
 func cmdTable(g *obsFlags, args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("table needs an id (T1..T9, V1) or alias (oblivious, case-n3, tradeoff, ...)")
+		return fmt.Errorf("table needs an id (T1..T10, V1) or alias (oblivious, case-n3, tradeoff, hetero, ...)")
 	}
 	id := args[0]
 	fs := flag.NewFlagSet("table", flag.ContinueOnError)
@@ -485,11 +536,16 @@ func cmdTable(g *obsFlags, args []string) (err error) {
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
 	backend := fs.String("backend", "auto", "evaluation backend: exact, mc or auto")
+	piStr := fs.String("pi", "", "comma-separated per-player input ranges π_i (experiments that accept heterogeneous instances, e.g. T10)")
 	csvPath := fs.String("csv", "", "write CSV to this path")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 	b, err := engine.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	pi, err := problem.ParsePi(*piStr)
 	if err != nil {
 		return err
 	}
@@ -508,6 +564,7 @@ func cmdTable(g *obsFlags, args []string) (err error) {
 	out, err := exp.Run(sess.observer, harness.Params{
 		Sim:     sim.Config{Trials: *trials, Seed: *seed, Workers: *workers},
 		Backend: b,
+		Pi:      pi,
 	})
 	if err != nil {
 		return err

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/nonoblivious"
+	"repro/internal/problem"
 	"repro/internal/sim"
 )
 
@@ -63,7 +64,7 @@ func main() {
 			log.Fatal(err)
 		}
 		df, _ := delta.Float64()
-		feas, err := sim.FeasibilityProbability(n, df, sim.Config{Trials: 200_000, Seed: uint64(12 + 2*i)})
+		feas, err := sim.FeasibilityProbability(problem.Instance{N: n, Delta: df}, sim.Config{Trials: 200_000, Seed: uint64(12 + 2*i)})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,9 +11,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/geometry"
 	"repro/internal/nonoblivious"
 	"repro/internal/oblivious"
+	"repro/internal/problem"
 	"repro/internal/py91"
 	"repro/internal/response"
 	"repro/internal/sim"
@@ -183,11 +185,67 @@ func TestEndToEndPY91Settled(t *testing.T) {
 	if math.Abs(exact-opt.WinProbabilityFloat) > 1e-10 {
 		t.Errorf("conjectured %v vs proven %v", exact, opt.WinProbabilityFloat)
 	}
-	feas, err := sim.FeasibilityProbability(3, 1, sim.Config{Trials: 200000, Seed: 6})
+	feas, err := sim.FeasibilityProbability(problem.Instance{N: 3, Delta: 1}, sim.Config{Trials: 200000, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !(exact < feas.P) {
 		t.Errorf("no-communication optimum %v should sit below the omniscient bound %v", exact, feas.P)
+	}
+}
+
+// TestEndToEndHeterogeneousInstance crosses the full heterogeneous stack
+// on n=3, π=(1/2,1,1), δ=1: the exact subset-sum evaluators (engine
+// Exact backend) and the widths-aware sampling kernel (Monte-Carlo
+// backend) must agree within a 99% confidence interval for both rule
+// classes, and shrinking a player's range must help the threshold
+// algorithm (player 1's load shrinks stochastically).
+func TestEndToEndHeterogeneousInstance(t *testing.T) {
+	inst, err := core.NewInstancePi(3, 1, []float64{0.5, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Heterogeneous() {
+		t.Fatal("instance should be heterogeneous")
+	}
+	cfg := sim.Config{Trials: 400_000, Seed: 29, Workers: 2}
+	for _, r := range []engine.Rule{
+		engine.SymmetricOblivious{A: 0.5},
+		engine.SymmetricThreshold{Beta: 0.5},
+		engine.Threshold{Thresholds: []float64{0.25, 0.5, 0.5}},
+	} {
+		exact, err := inst.Evaluate(r, engine.Exact)
+		if err != nil {
+			t.Fatalf("%s exact: %v", r.Name(), err)
+		}
+		mc, err := engine.Default().EvaluateWith(inst.EngineInstance(), r, engine.MonteCarlo, cfg)
+		if err != nil {
+			t.Fatalf("%s mc: %v", r.Name(), err)
+		}
+		if mc.StdErr <= 0 {
+			t.Fatalf("%s: no standard error", r.Name())
+		}
+		// 99% CI: |exact - mc| <= 2.576 standard errors.
+		if diff := math.Abs(exact.P - mc.P); diff > 2.576*mc.StdErr {
+			t.Errorf("%s: exact %v vs mc %v ± %v disagree beyond the 99%% CI",
+				r.Name(), exact.P, mc.P, mc.StdErr)
+		}
+	}
+	// Shrinking π_1 can only reduce the total load, so the best threshold
+	// value on the heterogeneous instance dominates the homogeneous one.
+	hom, err := core.NewInstance(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	homP, err := hom.SymmetricThresholdWinProbability(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetP, err := inst.SymmetricThresholdWinProbability(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hetP > homP) {
+		t.Errorf("heterogeneous threshold value %v should beat homogeneous %v", hetP, homP)
 	}
 }

@@ -5,7 +5,8 @@
 // It ties the substrate packages together behind a small, task-oriented
 // API:
 //
-//   - describe an instance (n players, bin capacity δ),
+//   - describe an instance (n players, bin capacity δ, optional
+//     per-player input ranges π_i),
 //   - compute exact winning probabilities for oblivious (Theorem 4.1) and
 //     single-threshold (Theorem 5.1) algorithms,
 //   - derive certified optima (Theorem 4.3 and the Section 5.2 analysis),
@@ -26,27 +27,34 @@ import (
 	"repro/internal/model"
 	"repro/internal/nonoblivious"
 	"repro/internal/oblivious"
+	"repro/internal/problem"
 	"repro/internal/sim"
 )
 
 // Instance is one distributed decision-making problem: N players with
-// U[0,1] inputs and two bins of capacity Delta, no communication.
+// inputs uniform on [0, π_i] (homogeneous U[0,1] unless a π vector is
+// given) and two bins of capacity Delta, no communication. It embeds the
+// canonical problem.Instance — validation and cache identity live there,
+// shared with the engine — and layers the paper-level derived quantities
+// (certified optima, trade-off rows) on top.
 type Instance struct {
-	// N is the number of players (n ≥ 2).
-	N int
-	// Delta is the bin capacity (the paper's δ = t > 0).
-	Delta float64
+	problem.Instance
 }
 
-// NewInstance validates and returns an instance.
+// NewInstance validates and returns a homogeneous U[0,1] instance.
 func NewInstance(n int, delta float64) (Instance, error) {
-	if n < 2 {
-		return Instance{}, fmt.Errorf("core: need at least 2 players, got %d", n)
+	return NewInstancePi(n, delta, nil)
+}
+
+// NewInstancePi validates and returns an instance with per-player input
+// ranges π (nil means homogeneous U[0,1]; an all-ones vector is
+// canonicalized to it).
+func NewInstancePi(n int, delta float64, pi []float64) (Instance, error) {
+	p, err := problem.NewPi(n, delta, pi)
+	if err != nil {
+		return Instance{}, err
 	}
-	if !(delta > 0) || math.IsInf(delta, 1) {
-		return Instance{}, fmt.Errorf("core: capacity %v must be strictly positive and finite", delta)
-	}
-	return Instance{N: n, Delta: delta}, nil
+	return Instance{Instance: p}, nil
 }
 
 // PaperInstance returns the paper's scaling δ = n/3 for the given n (δ=1
@@ -78,9 +86,10 @@ func (inst Instance) DeltaRat() (r *big.Rat, ok bool) {
 	return r, true
 }
 
-// EngineInstance converts the instance to the evaluation engine's type.
+// EngineInstance returns the canonical problem.Instance the evaluation
+// engine consumes (engine.Instance is an alias of it).
 func (inst Instance) EngineInstance() engine.Instance {
-	return engine.Instance{N: inst.N, Delta: inst.Delta}
+	return inst.Instance
 }
 
 // Evaluate runs an arbitrary engine rule on this instance through the
@@ -124,24 +133,45 @@ func (inst Instance) SymmetricThresholdWinProbability(beta float64) (float64, er
 	return res.P, err
 }
 
+// homogeneousOnly rejects heterogeneous instances for the certified
+// optimality analyses, which are derived for the homogeneous game only.
+func (inst Instance) homogeneousOnly(what string) error {
+	if inst.Heterogeneous() {
+		return fmt.Errorf("core: %s is defined for homogeneous U[0,1] inputs only, got π=(%s)",
+			what, problem.FormatPi(inst.Pi))
+	}
+	return nil
+}
+
 // OptimalOblivious returns the Theorem 4.3 optimum (α = 1/2 uniformly; see
 // the oblivious package for the deterministic-vertex caveat this
-// reproduction documents).
+// reproduction documents). The analysis covers the homogeneous game only.
 func (inst Instance) OptimalOblivious() (oblivious.OptimalResult, error) {
+	if err := inst.homogeneousOnly("the Theorem 4.3 optimum"); err != nil {
+		return oblivious.OptimalResult{}, err
+	}
 	return oblivious.Optimal(inst.N, inst.Delta)
 }
 
 // OptimalObliviousDeterministic returns the best deterministic oblivious
-// algorithm (the balanced-partition vertex optimum).
+// algorithm (the balanced-partition vertex optimum, homogeneous game
+// only).
 func (inst Instance) OptimalObliviousDeterministic() (oblivious.DeterministicResult, error) {
+	if err := inst.homogeneousOnly("the deterministic oblivious optimum"); err != nil {
+		return oblivious.DeterministicResult{}, err
+	}
 	return oblivious.OptimalDeterministic(inst.N, inst.Delta)
 }
 
 // OptimalThreshold returns the certified optimal symmetric threshold
 // (Section 5.2): the exact piecewise polynomial P(β), the Sturm-isolated
 // β*, and the optimal winning probability. The capacity must be exactly
-// rational (DeltaRat).
+// rational (DeltaRat), and the symbolic analysis covers the homogeneous
+// game only.
 func (inst Instance) OptimalThreshold() (nonoblivious.OptimalResult, error) {
+	if err := inst.homogeneousOnly("the Section 5.2 analysis"); err != nil {
+		return nonoblivious.OptimalResult{}, err
+	}
 	d, ok := inst.DeltaRat()
 	if !ok {
 		return nonoblivious.OptimalResult{}, fmt.Errorf("core: capacity %v is not an exact rational; use nonoblivious.OptimalSymmetric directly", inst.Delta)
@@ -156,7 +186,7 @@ func (inst Instance) ObliviousSystem(a float64) (*model.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return model.UniformSystem(inst.N, rule, inst.Delta)
+	return model.UniformSystemPi(inst.N, rule, inst.Delta, inst.Pi)
 }
 
 // ThresholdSystem builds a runnable system where every player uses the
@@ -166,7 +196,7 @@ func (inst Instance) ThresholdSystem(beta float64) (*model.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return model.UniformSystem(inst.N, rule, inst.Delta)
+	return model.UniformSystemPi(inst.N, rule, inst.Delta, inst.Pi)
 }
 
 // SimulateThreshold estimates the symmetric-threshold winning probability
@@ -198,7 +228,7 @@ func (inst Instance) simulate(r engine.Rule, cfg sim.Config) (sim.Result, error)
 // FeasibilityUpperBound estimates the omniscient benchmark: the
 // probability that any assignment at all fits both bins.
 func (inst Instance) FeasibilityUpperBound(cfg sim.Config) (sim.Result, error) {
-	return sim.FeasibilityProbability(inst.N, inst.Delta, cfg)
+	return sim.FeasibilityProbability(inst.Instance, cfg)
 }
 
 // Tradeoff is one row of the knowledge/uniformity trade-off table (T4):

@@ -25,41 +25,21 @@ package engine
 
 import (
 	"fmt"
-	"math"
 	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/problem"
 	"repro/internal/sim"
 )
 
-// Instance is one distributed decision-making problem: N players with
-// U[0,1] inputs and two bins of capacity Delta. It mirrors core.Instance
-// (core sits above the engine and converts trivially).
-type Instance struct {
-	// N is the number of players (n ≥ 2).
-	N int
-	// Delta is the bin capacity (the paper's δ > 0).
-	Delta float64
-}
-
-// Validate checks the instance.
-func (inst Instance) Validate() error {
-	if inst.N < 2 {
-		return fmt.Errorf("engine: need at least 2 players, got %d", inst.N)
-	}
-	if !(inst.Delta > 0) || math.IsInf(inst.Delta, 1) {
-		return fmt.Errorf("engine: capacity %v must be strictly positive and finite", inst.Delta)
-	}
-	return nil
-}
-
-// key is the instance's canonical cache-key component; the capacity is
-// keyed by its exact bit pattern so nearby floats never collide.
-func (inst Instance) key() string {
-	return "n=" + strconv.Itoa(inst.N) + "|d=" + strconv.FormatUint(math.Float64bits(inst.Delta), 16)
-}
+// Instance is the canonical problem instance: N players with inputs
+// uniform on [0, π_i] (nil Pi ⇒ the homogeneous U[0,1] game) and two
+// bins of capacity Delta. It is an alias of problem.Instance, so the
+// engine, core and the harness all share one definition, one Validate,
+// and one cache key.
+type Instance = problem.Instance
 
 // Backend selects how a rule is evaluated.
 type Backend int
@@ -221,7 +201,7 @@ func (e *Engine) EvaluateWith(inst Instance, r Rule, backend Backend, simCfg sim
 	if simCfg.Trials <= 0 {
 		simCfg = e.simCfg
 	}
-	key := inst.key() + "|r=" + r.Fingerprint() + "|b=" + resolved.String()
+	key := inst.Key() + "|r=" + r.Fingerprint() + "|b=" + resolved.String()
 	if resolved == MonteCarlo {
 		key += "|t=" + strconv.Itoa(simCfg.Trials) +
 			",s=" + strconv.FormatUint(simCfg.Seed, 10) +

@@ -12,6 +12,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/nonoblivious"
 	"repro/internal/oblivious"
+	"repro/internal/problem"
 	"repro/internal/py91"
 	"repro/internal/response"
 	"repro/internal/sim"
@@ -62,6 +63,26 @@ var ErrNoSystem = errors.New("engine: rule has no local-rule system")
 // fbits encodes a float by its exact bit pattern (cache-key safe).
 func fbits(v float64) string { return strconv.FormatUint(math.Float64bits(v), 16) }
 
+// homogeneousOnly rejects heterogeneous instances for rules whose exact
+// oracle (or bespoke simulator) is defined only for U[0,1] inputs.
+func homogeneousOnly(inst Instance, what string) error {
+	if inst.Heterogeneous() {
+		return fmt.Errorf("engine: %s supports only homogeneous U[0,1] inputs, got π=(%s)",
+			what, problem.FormatPi(inst.Pi))
+	}
+	return nil
+}
+
+// repeated expands a per-player constant to a vector of the instance's
+// size (the symmetric rules' bridge to the general hetero evaluators).
+func repeated(v float64, n int) []float64 {
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = v
+	}
+	return vs
+}
+
 // fbitsList encodes a float slice.
 func fbitsList(vs []float64) string {
 	parts := make([]string, len(vs))
@@ -93,11 +114,15 @@ func (r SymmetricOblivious) System(inst Instance) (*model.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return model.UniformSystem(inst.N, rule, inst.Delta)
+	return model.UniformSystemPi(inst.N, rule, inst.Delta, inst.Pi)
 }
 
-// ExactWinProbability implements ExactEvaluator through Theorem 4.1.
+// ExactWinProbability implements ExactEvaluator through Theorem 4.1 (its
+// heterogeneous generalization when the instance carries a π vector).
 func (r SymmetricOblivious) ExactWinProbability(inst Instance) (float64, error) {
+	if inst.Heterogeneous() {
+		return oblivious.WinningProbabilityPi(repeated(r.A, inst.N), inst.Pi, inst.Delta)
+	}
 	return oblivious.SymmetricWinningProbability(inst.N, inst.Delta, r.A)
 }
 
@@ -134,13 +159,17 @@ func (r Oblivious) System(inst Instance) (*model.System, error) {
 		}
 		rules[i] = lr
 	}
-	return model.NewSystem(rules, inst.Delta)
+	return model.NewSystemPi(rules, inst.Delta, inst.Pi)
 }
 
-// ExactWinProbability implements ExactEvaluator through Theorem 4.1.
+// ExactWinProbability implements ExactEvaluator through Theorem 4.1 (its
+// heterogeneous generalization when the instance carries a π vector).
 func (r Oblivious) ExactWinProbability(inst Instance) (float64, error) {
 	if err := r.check(inst); err != nil {
 		return 0, err
+	}
+	if inst.Heterogeneous() {
+		return oblivious.WinningProbabilityPi(r.Alphas, inst.Pi, inst.Delta)
 	}
 	return oblivious.WinningProbability(r.Alphas, inst.Delta)
 }
@@ -186,6 +215,9 @@ func (r DeterministicSplit) ExactWinProbability(inst Instance) (float64, error) 
 	if err != nil {
 		return 0, err
 	}
+	if inst.Heterogeneous() {
+		return oblivious.WinningProbabilityPi(alphas, inst.Pi, inst.Delta)
+	}
 	return oblivious.WinningProbability(alphas, inst.Delta)
 }
 
@@ -211,11 +243,15 @@ func (r SymmetricThreshold) System(inst Instance) (*model.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return model.UniformSystem(inst.N, rule, inst.Delta)
+	return model.UniformSystemPi(inst.N, rule, inst.Delta, inst.Pi)
 }
 
-// ExactWinProbability implements ExactEvaluator through Theorem 5.1.
+// ExactWinProbability implements ExactEvaluator through Theorem 5.1 (its
+// heterogeneous generalization when the instance carries a π vector).
 func (r SymmetricThreshold) ExactWinProbability(inst Instance) (float64, error) {
+	if inst.Heterogeneous() {
+		return nonoblivious.WinningProbabilityPi(repeated(r.Beta, inst.N), inst.Pi, inst.Delta)
+	}
 	return nonoblivious.SymmetricWinningProbability(inst.N, inst.Delta, r.Beta)
 }
 
@@ -252,13 +288,17 @@ func (r Threshold) System(inst Instance) (*model.System, error) {
 		}
 		rules[i] = lr
 	}
-	return model.NewSystem(rules, inst.Delta)
+	return model.NewSystemPi(rules, inst.Delta, inst.Pi)
 }
 
-// ExactWinProbability implements ExactEvaluator through Theorem 5.1.
+// ExactWinProbability implements ExactEvaluator through Theorem 5.1 (its
+// heterogeneous generalization when the instance carries a π vector).
 func (r Threshold) ExactWinProbability(inst Instance) (float64, error) {
 	if err := r.check(inst); err != nil {
 		return 0, err
+	}
+	if inst.Heterogeneous() {
+		return nonoblivious.WinningProbabilityPi(r.Thresholds, inst.Pi, inst.Delta)
 	}
 	return nonoblivious.WinningProbability(r.Thresholds, inst.Delta)
 }
@@ -303,18 +343,24 @@ func (r IntervalRule) grid() int {
 	return r.Grid
 }
 
-// System implements Rule.
+// System implements Rule. Heterogeneous instances are allowed — inputs
+// beyond an interval set's [0, 1] domain simply fall in bin 1 — so the
+// Monte-Carlo backend still covers them.
 func (r IntervalRule) System(inst Instance) (*model.System, error) {
 	rule, err := r.Set.Rule(r.Name())
 	if err != nil {
 		return nil, err
 	}
-	return model.UniformSystem(inst.N, rule, inst.Delta)
+	return model.UniformSystemPi(inst.N, rule, inst.Delta, inst.Pi)
 }
 
 // ExactWinProbability implements ExactEvaluator through the
-// grid-convolution oracle.
+// grid-convolution oracle. The oracle discretizes U[0,1] inputs, so
+// heterogeneous instances are rejected here (simulate them instead).
 func (r IntervalRule) ExactWinProbability(inst Instance) (float64, error) {
+	if err := homogeneousOnly(inst, "the interval-set oracle"); err != nil {
+		return 0, err
+	}
 	ev, err := response.NewEvaluator(inst.N, inst.Delta, r.grid())
 	if err != nil {
 		return 0, err
@@ -350,6 +396,9 @@ func (r OneBitRule) Fingerprint() string {
 }
 
 func (r OneBitRule) protocol(inst Instance) (comm.OneBitBroadcast, error) {
+	if err := homogeneousOnly(inst, "the one-bit protocol"); err != nil {
+		return comm.OneBitBroadcast{}, err
+	}
 	p := comm.OneBitBroadcast{N: inst.N, Cut: r.Cut, SenderTheta: r.SenderTheta, BetaLow: r.BetaLow, BetaHigh: r.BetaHigh}
 	if err := p.Validate(); err != nil {
 		return comm.OneBitBroadcast{}, err
@@ -457,6 +506,9 @@ func (r PY91Rule) grid() int {
 func (r PY91Rule) check(inst Instance) error {
 	if r.Protocol == nil {
 		return fmt.Errorf("engine: nil py91 protocol")
+	}
+	if err := homogeneousOnly(inst, "py91 protocols"); err != nil {
+		return err
 	}
 	if inst.N != py91.Players || inst.Delta != py91.Capacity {
 		return fmt.Errorf("engine: py91 protocols evaluate only on n=%d, δ=%v (got n=%d, δ=%v)",

@@ -10,6 +10,7 @@ import (
 	"repro/internal/oblivious"
 	"repro/internal/optimize"
 	"repro/internal/plot"
+	"repro/internal/problem"
 	"repro/internal/py91"
 	"repro/internal/response"
 	"repro/internal/sim"
@@ -212,7 +213,7 @@ func TableAsymptotics(ns []int, p Params) (Table, error) {
 			if trials > 100_000 {
 				trials = 100_000
 			}
-			res, err := sim.FeasibilityProbability(n, delta, sim.Config{
+			res, err := sim.FeasibilityProbability(problem.Instance{N: n, Delta: delta}, sim.Config{
 				Trials: trials, Workers: cfg.Workers, Seed: cfg.Seed,
 			})
 			if err != nil {

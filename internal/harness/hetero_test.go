@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTableHeterogeneous(t *testing.T) {
+	p := Params{Sim: sim.Config{Trials: 50_000, Seed: 11}}
+	tbl, err := TableHeterogeneous(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(tbl.Rows))
+	}
+	if len(tbl.Notes) == 0 || !strings.Contains(tbl.Notes[0], "π=(0.5,1,1)") {
+		t.Errorf("notes should name the default instance: %v", tbl.Notes)
+	}
+	for _, row := range tbl.Rows {
+		exact, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("row %v: exact column not a float: %v", row, err)
+		}
+		if exact <= 0 || exact >= 1 {
+			t.Errorf("%s: exact %v outside (0,1)", row[0], exact)
+		}
+		z, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("row %v: |z| column not a float: %v", row, err)
+		}
+		if z > 4 {
+			t.Errorf("%s: Monte-Carlo deviates %v standard errors from exact", row[0], z)
+		}
+	}
+}
+
+func TestTableHeterogeneousCustomPi(t *testing.T) {
+	p := Params{
+		Pi:  []float64{0.25, 0.75},
+		Sim: sim.Config{Trials: 20_000, Seed: 5},
+	}
+	tbl, err := TableHeterogeneous(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.Notes[0], "n=2") || !strings.Contains(tbl.Notes[0], "π=(0.25,0.75)") {
+		t.Errorf("notes should reflect Params.Pi: %v", tbl.Notes)
+	}
+}
+
+func TestTableHeterogeneousRejectsBadPi(t *testing.T) {
+	if _, err := TableHeterogeneous(Params{Pi: []float64{0.5, -1}}); err == nil {
+		t.Error("negative π entry: expected error")
+	}
+	if _, err := TableHeterogeneous(Params{Pi: []float64{0.5}}); err == nil {
+		t.Error("single player: expected error")
+	}
+}

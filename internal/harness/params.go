@@ -19,6 +19,10 @@ type Params struct {
 	// Backend selects how rule evaluations run (Auto, Exact, MonteCarlo).
 	// Experiments that are exact by construction ignore it.
 	Backend engine.Backend
+	// Pi optionally sets per-player input ranges (x_i ~ U[0, Pi[i]]) for
+	// experiments that accept heterogeneous instances (T10); nil is the
+	// homogeneous U[0,1] game.
+	Pi []float64
 	// Engine optionally shares a memoization cache across runs; nil
 	// builds a private engine wired to Sim and Sim.Obs.
 	Engine *engine.Engine

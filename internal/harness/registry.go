@@ -104,6 +104,11 @@ func Registry() map[string]Experiment {
 			Title:    "Non-uniform input distributions (extension)",
 			RunTable: func(Params) (Table, error) { return TableNonUniformInputs() },
 		},
+		"T10": {
+			ID: "T10", Kind: KindTable,
+			Title:    "Heterogeneous input ranges x_i ~ U[0, π_i] (extension)",
+			RunTable: TableHeterogeneous,
+		},
 		"V1": {
 			ID: "V1", Kind: KindTable,
 			Title:    "Exact formulas vs Monte-Carlo simulation",
@@ -127,6 +132,7 @@ var aliases = map[string]string{
 	"asymptotics":          "T7",
 	"one-bit":              "T8",
 	"non-uniform":          "T9",
+	"hetero":               "T10",
 	"validation":           "V1",
 }
 

@@ -246,6 +246,9 @@ func (sc *BatchScratch) ensure(n, coinCols, b int) {
 type BatchKernel struct {
 	capacity float64
 	rules    []BatchRule
+	// widths holds the per-player input ranges π_i, nil for the
+	// homogeneous U[0, 1] game (mirroring System.widths).
+	widths []float64
 	// coinIx maps player index to its coin column, -1 for coinless
 	// players; coinPlayers lists the coin-drawing players ascending.
 	coinIx      []int
@@ -263,6 +266,7 @@ func NewBatchKernel(sys *System) (*BatchKernel, bool) {
 	k := &BatchKernel{
 		capacity: sys.capacity,
 		rules:    make([]BatchRule, len(sys.rules)),
+		widths:   sys.widths,
 		coinIx:   make([]int, len(sys.rules)),
 	}
 	for i, r := range sys.rules {
@@ -297,13 +301,27 @@ func (k *BatchKernel) Play(sc *BatchScratch, rng *rand.Rand, b int) int {
 	sc.ensure(n, len(k.coinPlayers), b)
 	inputs, coins := sc.inputs, sc.coins
 
-	// Draw trial-major (the per-trial order), store column-major.
-	for t := 0; t < b; t++ {
-		for i := 0; i < n; i++ {
-			inputs[i*b+t] = rng.Float64()
+	// Draw trial-major (the per-trial order), store column-major. The
+	// homogeneous branch is the exact pre-heterogeneous loop, so its
+	// results stay bit-identical; the heterogeneous branch scales each
+	// draw by the player's range, matching SampleInputsInto.
+	if k.widths == nil {
+		for t := 0; t < b; t++ {
+			for i := 0; i < n; i++ {
+				inputs[i*b+t] = rng.Float64()
+			}
+			for c := range k.coinPlayers {
+				coins[c*b+t] = rng.Float64()
+			}
 		}
-		for c := range k.coinPlayers {
-			coins[c*b+t] = rng.Float64()
+	} else {
+		for t := 0; t < b; t++ {
+			for i := 0; i < n; i++ {
+				inputs[i*b+t] = rng.Float64() * k.widths[i]
+			}
+			for c := range k.coinPlayers {
+				coins[c*b+t] = rng.Float64()
+			}
 		}
 	}
 

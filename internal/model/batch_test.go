@@ -181,6 +181,62 @@ func TestBatchKernelMatchesPerTrialPlay(t *testing.T) {
 	}
 }
 
+// TestBatchKernelMatchesPerTrialPlayPi repeats the batch/per-trial
+// equivalence on a heterogeneous system (x_i ~ U[0, π_i]): the widths-
+// aware sampling branch must keep the per-trial RNG draw order, so both
+// paths see identical streams bit for bit.
+func TestBatchKernelMatchesPerTrialPlayPi(t *testing.T) {
+	thr, _ := NewThresholdRule(0.4)
+	obl, _ := NewObliviousRule(0.37)
+	sys, err := NewSystemPi([]LocalRule{thr, obl, thr}, 1, []float64{0.5, 1, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Heterogeneous() {
+		t.Fatal("system should report heterogeneous widths")
+	}
+	k, ok := NewBatchKernel(sys)
+	if !ok {
+		t.Fatal("expected a batch kernel for batchable rules")
+	}
+
+	const b = 777
+	sc := GetBatchScratch()
+	defer sc.Release()
+	batchRNG := testRNG(41)
+	wins := k.Play(sc, batchRNG, b)
+
+	perTrialRNG := testRNG(41)
+	perTrialWins := 0
+	for i := 0; i < b; i++ {
+		inputs, err := sys.SampleInputs(perTrialRNG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, x := range inputs {
+			if w := sys.InputWidth(j); x < 0 || x > w {
+				t.Fatalf("trial %d: input %d = %v outside [0, %v]", i, j, x, w)
+			}
+		}
+		out, err := sys.Play(inputs, perTrialRNG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Win != sc.Wins()[i] {
+			t.Fatalf("trial %d: batch win %v, per-trial win %v", i, sc.Wins()[i], out.Win)
+		}
+		if out.Win {
+			perTrialWins++
+		}
+	}
+	if wins != perTrialWins {
+		t.Fatalf("batch wins %d, per-trial wins %d", wins, perTrialWins)
+	}
+	if a, bb := batchRNG.Uint64(), perTrialRNG.Uint64(); a != bb {
+		t.Fatalf("streams diverged after play: %x vs %x", a, bb)
+	}
+}
+
 // TestNewBatchKernelFallsBack verifies that systems containing a rule
 // without a batch implementation do not get a kernel.
 func TestNewBatchKernelFallsBack(t *testing.T) {

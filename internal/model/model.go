@@ -1,7 +1,8 @@
 // Package model defines the distributed decision-making model of Section 3
-// of the paper: n players, each receiving a private input uniform on [0,1],
-// each choosing one of two bins of capacity δ with no communication, and the
-// system "winning" when neither bin overflows.
+// of the paper: n players, each receiving a private input uniform on
+// [0, π_i] (π_i = 1 for every player in the paper's homogeneous game),
+// each choosing one of two bins of capacity δ with no communication, and
+// the system "winning" when neither bin overflows.
 //
 // A LocalRule is the paper's (local) decision-making algorithm A_i in the
 // no-communication case: a (possibly randomized) map from the player's own
@@ -142,16 +143,33 @@ var (
 )
 
 // System is an n-player no-communication decision-making instance: one
-// LocalRule per player and a common bin capacity δ.
+// LocalRule per player, a common bin capacity δ, and per-player input
+// ranges (player i's input is uniform on [0, widths[i]]). A nil widths
+// slice is the homogeneous U[0, 1] game and takes exactly the code paths
+// the system took before heterogeneous ranges existed.
 type System struct {
 	rules    []LocalRule
 	capacity float64
+	// widths holds the per-player input ranges π_i; nil means homogeneous
+	// U[0, 1]. Constructors canonicalize an all-ones slice to nil.
+	widths []float64
 }
 
-// NewSystem builds a system from per-player rules and the bin capacity δ.
-// At least two players are required (matching the paper's n ≥ 2), every
-// rule must be non-nil, and the capacity must be strictly positive.
+// NewSystem builds a homogeneous-input system from per-player rules and
+// the bin capacity δ. At least two players are required (matching the
+// paper's n ≥ 2), every rule must be non-nil, and the capacity must be
+// strictly positive.
 func NewSystem(rules []LocalRule, capacity float64) (*System, error) {
+	return NewSystemPi(rules, capacity, nil)
+}
+
+// NewSystemPi builds a system with per-player input ranges: player i's
+// input is uniform on [0, widths[i]]. A nil or empty widths slice selects
+// the homogeneous U[0, 1] game; otherwise widths must have one strictly
+// positive finite entry per rule. An all-ones widths slice is
+// canonicalized to the homogeneous game, so homogeneous results stay
+// bit-identical however the instance was spelled.
+func NewSystemPi(rules []LocalRule, capacity float64, widths []float64) (*System, error) {
 	if len(rules) < 2 {
 		return nil, fmt.Errorf("model: need at least 2 players, got %d", len(rules))
 	}
@@ -165,11 +183,36 @@ func NewSystem(rules []LocalRule, capacity float64) (*System, error) {
 		}
 		cp[i] = r
 	}
-	return &System{rules: cp, capacity: capacity}, nil
+	sys := &System{rules: cp, capacity: capacity}
+	if len(widths) > 0 {
+		if len(widths) != len(rules) {
+			return nil, fmt.Errorf("model: %d input ranges for %d players", len(widths), len(rules))
+		}
+		hetero := false
+		for i, w := range widths {
+			if !(w > 0) || math.IsInf(w, 1) {
+				return nil, fmt.Errorf("model: input range π[%d] = %v must be strictly positive and finite", i, w)
+			}
+			if w != 1 {
+				hetero = true
+			}
+		}
+		if hetero {
+			sys.widths = append([]float64(nil), widths...)
+		}
+	}
+	return sys, nil
 }
 
-// UniformSystem builds a system in which every player runs the same rule.
+// UniformSystem builds a homogeneous-input system in which every player
+// runs the same rule.
 func UniformSystem(n int, rule LocalRule, capacity float64) (*System, error) {
+	return UniformSystemPi(n, rule, capacity, nil)
+}
+
+// UniformSystemPi builds a system in which every player runs the same
+// rule, with per-player input ranges as in NewSystemPi.
+func UniformSystemPi(n int, rule LocalRule, capacity float64, widths []float64) (*System, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("model: need at least 2 players, got %d", n)
 	}
@@ -177,7 +220,7 @@ func UniformSystem(n int, rule LocalRule, capacity float64) (*System, error) {
 	for i := range rules {
 		rules[i] = rule
 	}
-	return NewSystem(rules, capacity)
+	return NewSystemPi(rules, capacity, widths)
 }
 
 // N returns the number of players.
@@ -185,6 +228,18 @@ func (s *System) N() int { return len(s.rules) }
 
 // Capacity returns the bin capacity δ.
 func (s *System) Capacity() float64 { return s.capacity }
+
+// InputWidth returns player i's input range π_i (1 for homogeneous
+// systems and out-of-range indices).
+func (s *System) InputWidth(i int) float64 {
+	if i >= 0 && i < len(s.widths) {
+		return s.widths[i]
+	}
+	return 1
+}
+
+// Heterogeneous reports whether some player's input range differs from 1.
+func (s *System) Heterogeneous() bool { return s.widths != nil }
 
 // Rule returns player i's rule. It returns an error for an out-of-range
 // index.
@@ -207,7 +262,8 @@ type Outcome struct {
 }
 
 // Play evaluates the system on the given input vector. inputs must have
-// one entry per player, each in [0, 1]. rng is passed to randomized rules
+// one entry per player, each in the player's input range [0, π_i]
+// ([0, 1] for homogeneous systems). rng is passed to randomized rules
 // and may be nil when all rules are deterministic.
 func (s *System) Play(inputs []float64, rng *rand.Rand) (Outcome, error) {
 	var out Outcome
@@ -234,8 +290,8 @@ func (s *System) PlayInto(out *Outcome, inputs []float64, rng *rand.Rand) error 
 	}
 	out.Load0, out.Load1, out.Win = 0, 0, false
 	for i, x := range inputs {
-		if math.IsNaN(x) || x < 0 || x > 1 {
-			return fmt.Errorf("model: input %d = %v outside [0, 1]", i, x)
+		if w := s.InputWidth(i); math.IsNaN(x) || x < 0 || x > w {
+			return fmt.Errorf("model: input %d = %v outside [0, %v]", i, x, w)
 		}
 		bin, err := s.rules[i].Decide(x, rng)
 		if err != nil {
@@ -255,8 +311,9 @@ func (s *System) PlayInto(out *Outcome, inputs []float64, rng *rand.Rand) error 
 	return nil
 }
 
-// SampleInputs draws one uniform input vector for the system's n players.
-// It returns an error if rng is nil.
+// SampleInputs draws one input vector for the system's n players, each
+// uniform on the player's range [0, π_i]. It returns an error if rng is
+// nil.
 func (s *System) SampleInputs(rng *rand.Rand) ([]float64, error) {
 	inputs := make([]float64, len(s.rules))
 	if err := s.SampleInputsInto(inputs, rng); err != nil {
@@ -265,9 +322,11 @@ func (s *System) SampleInputs(rng *rand.Rand) ([]float64, error) {
 	return inputs, nil
 }
 
-// SampleInputsInto fills the caller-owned dst (one slot per player) with a
-// uniform input vector, drawing in the same order as SampleInputs so the
-// two are interchangeable on a fixed stream.
+// SampleInputsInto fills the caller-owned dst (one slot per player) with
+// an input vector, drawing one rng.Float64 per player in player order —
+// the same draw count and order as SampleInputs (and as the batch
+// kernel), so all sampling paths are interchangeable on a fixed stream.
+// For heterogeneous systems each draw is scaled to the player's range.
 func (s *System) SampleInputsInto(dst []float64, rng *rand.Rand) error {
 	if rng == nil {
 		return fmt.Errorf("model: nil random source")
@@ -275,8 +334,14 @@ func (s *System) SampleInputsInto(dst []float64, rng *rand.Rand) error {
 	if len(dst) != len(s.rules) {
 		return fmt.Errorf("model: %d input slots for %d players", len(dst), len(s.rules))
 	}
+	if s.widths == nil {
+		for i := range dst {
+			dst[i] = rng.Float64()
+		}
+		return nil
+	}
 	for i := range dst {
-		dst[i] = rng.Float64()
+		dst[i] = rng.Float64() * s.widths[i]
 	}
 	return nil
 }

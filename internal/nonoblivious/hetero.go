@@ -1,0 +1,165 @@
+package nonoblivious
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/combin"
+	"repro/internal/dist"
+)
+
+// WinningProbabilityPi generalizes Theorem 5.1 to heterogeneous inputs
+// x_i ~ U[0, π_i]: the probability that neither bin overflows capacity δ
+// when player i sends its input to bin 0 exactly when x_i ≤ thresholds[i].
+// A nil (or all-ones) π delegates to the homogeneous Theorem 5.1
+// evaluator. Thresholds stay in [0, 1], matching the rule class the model
+// layer admits; a threshold above π_i simply sends player i to bin 0
+// always.
+//
+// The evaluation conditions per bin exactly as the homogeneous proof
+// does. For each bin-1 set S,
+//
+//   - bin 0 contributes P(x_i ≤ a_i ∀i∉S) · P(Σ ≤ δ | all low):
+//     each low input is U[0, c_i] with c_i = min(a_i, π_i) and branch
+//     probability c_i/π_i, so the conditional sum CDF is Lemma 2.4
+//     (dist.UniformSum) over the c_i;
+//   - bin 1 contributes P(x_i > a_i ∀i∈S) · P(Σ ≤ δ | all high):
+//     each high input is U[a_i, π_i] with branch probability
+//     (π_i - a_i)/π_i. When every bin-1 range is 1 the conditional sum
+//     is the literal Lemma 2.7 distribution (dist.ShiftedUniformSum);
+//     otherwise Σ U[a_i, π_i] = Σ a_i + Σ U[0, π_i - a_i] — the shift
+//     identity behind Lemma 2.7's proof — reduces its CDF at δ to the
+//     Lemma 2.4 CDF of the residual widths at δ - Σ_{i∈S} a_i.
+func WinningProbabilityPi(thresholds, pi []float64, capacity float64) (float64, error) {
+	n := len(thresholds)
+	if n < 2 {
+		return 0, fmt.Errorf("nonoblivious: need at least 2 players, got %d", n)
+	}
+	hetero := false
+	for _, w := range pi {
+		if w != 1 {
+			hetero = true
+			break
+		}
+	}
+	if !hetero {
+		return WinningProbability(thresholds, capacity)
+	}
+	if len(pi) != n {
+		return 0, fmt.Errorf("nonoblivious: %d input ranges for %d players", len(pi), n)
+	}
+	for i, w := range pi {
+		if !(w > 0) || math.IsInf(w, 1) {
+			return 0, fmt.Errorf("nonoblivious: input range π[%d] = %v must be strictly positive and finite", i, w)
+		}
+	}
+	if n > MaxNGeneral {
+		return 0, fmt.Errorf("nonoblivious: general evaluation limited to %d players, got %d", MaxNGeneral, n)
+	}
+	if err := validateCapacity(capacity); err != nil {
+		return 0, err
+	}
+	for i, a := range thresholds {
+		if math.IsNaN(a) || a < 0 || a > 1 {
+			return 0, fmt.Errorf("nonoblivious: threshold[%d] = %v outside [0, 1]", i, a)
+		}
+	}
+	var total combin.Accumulator
+	var cdfErr error
+	lows := make([]float64, 0, n)   // conditional U[0, c_i] widths, bin 0
+	highs := make([]float64, 0, n)  // residual widths π_i - a_i, bin 1
+	lowers := make([]float64, 0, n) // bin-1 thresholds when every π_i∈S is 1
+	err := combin.ForEachSubset(n, func(b uint64) bool {
+		weight := 1.0
+		shift := 0.0     // Σ_{i∈S} a_i, the bin-1 sum's lower support bound
+		unitHigh := true // every bin-1 player has the unit range π_i = 1
+		lows = lows[:0]
+		highs = highs[:0]
+		lowers = lowers[:0]
+		for i := 0; i < n; i++ {
+			if b&(1<<uint(i)) == 0 {
+				c := math.Min(thresholds[i], pi[i])
+				if c == 0 {
+					weight = 0 // P(x_i ≤ 0) = 0 for a continuous input
+					break
+				}
+				weight *= c / pi[i]
+				lows = append(lows, c)
+			} else {
+				if thresholds[i] >= pi[i] {
+					weight = 0 // P(x_i > a_i) = 0 when a_i covers the range
+					break
+				}
+				weight *= (pi[i] - thresholds[i]) / pi[i]
+				shift += thresholds[i]
+				highs = append(highs, pi[i]-thresholds[i])
+				if pi[i] != 1 {
+					unitHigh = false
+				} else {
+					lowers = append(lowers, thresholds[i])
+				}
+			}
+		}
+		if weight == 0 {
+			return true
+		}
+		var f0, f1 float64
+		if f0, cdfErr = conditionalSumCDF(lows, capacity); cdfErr != nil {
+			return false
+		}
+		if f0 == 0 {
+			return true
+		}
+		if unitHigh {
+			// Every bin-1 range is 1: the conditional load is the literal
+			// Lemma 2.7 distribution Σ U[a_i, 1].
+			f1, cdfErr = shiftedTailCDF(lowers, capacity)
+		} else {
+			f1, cdfErr = conditionalSumCDF(highs, capacity-shift)
+		}
+		if cdfErr != nil {
+			return false
+		}
+		total.Add(weight * f0 * f1)
+		return true
+	})
+	if err == nil {
+		err = cdfErr
+	}
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(total.Sum()), nil
+}
+
+// conditionalSumCDF returns P(Σ U[0, w_i] ≤ t); the empty sum fits
+// exactly when t ≥ 0.
+func conditionalSumCDF(widths []float64, t float64) (float64, error) {
+	if len(widths) == 0 {
+		if t >= 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	u, err := dist.NewUniformSum(widths)
+	if err != nil {
+		return 0, err
+	}
+	return u.CDF(t), nil
+}
+
+// shiftedTailCDF returns P(Σ U[a_i, 1] ≤ t), the Lemma 2.7 conditional
+// bin-1 load distribution; the empty sum fits exactly when t ≥ 0.
+func shiftedTailCDF(lowers []float64, t float64) (float64, error) {
+	if len(lowers) == 0 {
+		if t >= 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	s, err := dist.NewShiftedUniformSum(lowers)
+	if err != nil {
+		return 0, err
+	}
+	return s.CDF(t), nil
+}

@@ -1,0 +1,131 @@
+package nonoblivious
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestWinningProbabilityPiMatchesHomogeneous pins the heterogeneous
+// evaluator to Theorem 5.1 when every range is 1 (spelled out or nil).
+func TestWinningProbabilityPiMatchesHomogeneous(t *testing.T) {
+	thresholdSets := [][]float64{
+		{0.5, 0.5, 0.5},
+		{0.3, 0.7, 0.5},
+		{1, 0, 0.25, 0.9},
+	}
+	for _, ths := range thresholdSets {
+		for _, capacity := range []float64{0.5, 1, 1.5} {
+			want, err := WinningProbability(ths, capacity)
+			if err != nil {
+				t.Fatalf("WinningProbability(%v, %v): %v", ths, capacity, err)
+			}
+			ones := make([]float64, len(ths))
+			for i := range ones {
+				ones[i] = 1
+			}
+			for _, pi := range [][]float64{nil, ones} {
+				got, err := WinningProbabilityPi(ths, pi, capacity)
+				if err != nil {
+					t.Fatalf("WinningProbabilityPi(%v, %v, %v): %v", ths, pi, capacity, err)
+				}
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("WinningProbabilityPi(%v, %v, %v) = %v, want %v", ths, pi, capacity, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWinningProbabilityPiDegenerate pins hand-checkable heterogeneous
+// cases.
+func TestWinningProbabilityPiDegenerate(t *testing.T) {
+	// Thresholds at the top of each range: both players always choose
+	// bin 0, so the game wins iff x_0 + x_1 ≤ δ; for π = (1/2, 1), δ = 1
+	// that is 3/4 (triangle cut off the (1/2)×1 rectangle).
+	got, err := WinningProbabilityPi([]float64{0.5, 1}, []float64{0.5, 1}, 1)
+	if err != nil {
+		t.Fatalf("WinningProbabilityPi: %v", err)
+	}
+	if want := 0.75; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("all-low = %v, want %v", got, want)
+	}
+
+	// Zero thresholds: both players always choose bin 1 (x_i > 0 a.s.),
+	// same fit probability on the other bin.
+	got, err = WinningProbabilityPi([]float64{0, 0}, []float64{0.5, 1}, 1)
+	if err != nil {
+		t.Fatalf("WinningProbabilityPi: %v", err)
+	}
+	if want := 0.75; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("all-high = %v, want %v", got, want)
+	}
+}
+
+// TestWinningProbabilityPiMonteCarlo cross-checks the conditioned
+// subset-sum evaluator against direct simulation of the heterogeneous
+// threshold game, on a mix of unit and non-unit ranges so both the
+// Lemma 2.7 branch and the shift-identity branch are exercised.
+func TestWinningProbabilityPiMonteCarlo(t *testing.T) {
+	cases := []struct {
+		ths, pi  []float64
+		capacity float64
+	}{
+		{[]float64{0.4, 0.6, 0.5}, []float64{0.5, 1, 0.75}, 0.8},
+		{[]float64{0.5, 0.5, 0.5}, []float64{0.5, 1, 1}, 1},
+		{[]float64{0.3, 0.9}, []float64{2, 0.25}, 1.2},
+	}
+	for _, tc := range cases {
+		exact, err := WinningProbabilityPi(tc.ths, tc.pi, tc.capacity)
+		if err != nil {
+			t.Fatalf("WinningProbabilityPi(%v, %v, %v): %v", tc.ths, tc.pi, tc.capacity, err)
+		}
+		rng := rand.New(rand.NewPCG(3, 13))
+		const trials = 400_000
+		wins := 0
+		for trial := 0; trial < trials; trial++ {
+			var load0, load1 float64
+			for i := range tc.ths {
+				x := rng.Float64() * tc.pi[i]
+				if x <= tc.ths[i] {
+					load0 += x
+				} else {
+					load1 += x
+				}
+			}
+			if load0 <= tc.capacity && load1 <= tc.capacity {
+				wins++
+			}
+		}
+		mc := float64(wins) / trials
+		se := math.Sqrt(math.Max(exact*(1-exact), 1e-12) / trials)
+		if math.Abs(mc-exact) > 4*se+1e-9 {
+			t.Fatalf("case %v/%v/%v: exact %v vs MC %v differ by more than 4σ (σ=%v)",
+				tc.ths, tc.pi, tc.capacity, exact, mc, se)
+		}
+	}
+}
+
+// TestWinningProbabilityPiRejects covers the validation paths.
+func TestWinningProbabilityPiRejects(t *testing.T) {
+	cases := []struct {
+		name     string
+		ths      []float64
+		pi       []float64
+		capacity float64
+	}{
+		{"short pi", []float64{0.5, 0.5}, []float64{0.5}, 1},
+		{"zero range", []float64{0.5, 0.5}, []float64{0, 1}, 1},
+		{"negative range", []float64{0.5, 0.5}, []float64{-1, 2}, 1},
+		{"NaN range", []float64{0.5, 0.5}, []float64{math.NaN(), 2}, 1},
+		{"bad threshold", []float64{1.5, 0.5}, []float64{0.5, 1}, 1},
+		{"bad capacity", []float64{0.5, 0.5}, []float64{0.5, 2}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := WinningProbabilityPi(tc.ths, tc.pi, tc.capacity); err == nil {
+				t.Fatalf("WinningProbabilityPi(%v, %v, %v) succeeded, want error", tc.ths, tc.pi, tc.capacity)
+			}
+		})
+	}
+}

@@ -46,7 +46,8 @@ func validateCapacity(capacity float64) error {
 
 // WinningProbability evaluates Theorem 5.1: the probability that neither
 // bin overflows capacity δ when player i uses threshold thresholds[i] and
-// inputs are independent U[0,1].
+// inputs are independent U[0,1]. WinningProbabilityPi handles
+// heterogeneous ranges x_i ~ U[0, π_i].
 func WinningProbability(thresholds []float64, capacity float64) (float64, error) {
 	n := len(thresholds)
 	if n < 2 {

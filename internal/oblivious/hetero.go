@@ -1,0 +1,123 @@
+package oblivious
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/combin"
+	"repro/internal/dist"
+)
+
+// MaxNHetero bounds the player count for heterogeneous-input evaluation:
+// the subset sum below costs Θ(3^n), matching the general non-oblivious
+// evaluator's budget.
+const MaxNHetero = 15
+
+// WinningProbabilityPi generalizes Theorem 4.1 to heterogeneous inputs
+// x_i ~ U[0, π_i]: the probability that neither bin overflows capacity δ
+// when player i chooses bin 0 with probability alphas[i]. A nil (or
+// all-ones) π delegates to the homogeneous Theorem 4.1 evaluator.
+//
+// With unequal ranges the bin loads are no longer exchangeable, so the
+// Poisson-binomial collapse over |b| does not apply; instead the 2^n
+// bin-choice vectors are summed directly,
+//
+//	P = Σ_S Π_{i∈S}(1-α_i) · Π_{i∉S}α_i · F_{Sᶜ}(δ) · F_S(δ),
+//
+// where S is the bin-1 set and F_T is the Lemma 2.4 CDF of Σ_{i∈T} x_i
+// (dist.UniformSum over that subset's ranges, F_∅ ≡ 1) — exactly the
+// φ_δ(k) = F_k(δ)F_{n-k}(δ) product of the homogeneous proof with
+// Irwin-Hall CDFs replaced by their heterogeneous generalization.
+func WinningProbabilityPi(alphas, pi []float64, capacity float64) (float64, error) {
+	if err := validateAlphas(alphas); err != nil {
+		return 0, err
+	}
+	n := len(alphas)
+	hetero := false
+	for _, w := range pi {
+		if w != 1 {
+			hetero = true
+			break
+		}
+	}
+	if !hetero {
+		return WinningProbability(alphas, capacity)
+	}
+	if len(pi) != n {
+		return 0, fmt.Errorf("oblivious: %d input ranges for %d players", len(pi), n)
+	}
+	for i, w := range pi {
+		if !(w > 0) || math.IsInf(w, 1) {
+			return 0, fmt.Errorf("oblivious: input range π[%d] = %v must be strictly positive and finite", i, w)
+		}
+	}
+	if n > MaxNHetero {
+		return 0, fmt.Errorf("oblivious: heterogeneous evaluation limited to %d players, got %d", MaxNHetero, n)
+	}
+	if !(capacity > 0) || math.IsInf(capacity, 1) {
+		return 0, fmt.Errorf("oblivious: capacity %v must be strictly positive and finite", capacity)
+	}
+	var total combin.Accumulator
+	var cdfErr error
+	zeros := make([]float64, 0, n)
+	ones := make([]float64, 0, n)
+	err := combin.ForEachSubset(n, func(b uint64) bool {
+		weight := 1.0
+		zeros = zeros[:0]
+		ones = ones[:0]
+		for i := 0; i < n; i++ {
+			if b&(1<<uint(i)) == 0 {
+				weight *= alphas[i]
+				zeros = append(zeros, pi[i])
+			} else {
+				weight *= 1 - alphas[i]
+				ones = append(ones, pi[i])
+			}
+		}
+		if weight == 0 {
+			return true
+		}
+		var f0, f1 float64
+		if f0, cdfErr = subsetCDF(zeros, capacity); cdfErr != nil {
+			return false
+		}
+		if f0 == 0 {
+			return true
+		}
+		if f1, cdfErr = subsetCDF(ones, capacity); cdfErr != nil {
+			return false
+		}
+		total.Add(weight * f0 * f1)
+		return true
+	})
+	if err == nil {
+		err = cdfErr
+	}
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(total.Sum()), nil
+}
+
+// subsetCDF returns P(Σ U[0, w_i] ≤ t) for the given ranges, with the
+// empty sum fitting always.
+func subsetCDF(widths []float64, t float64) (float64, error) {
+	if len(widths) == 0 {
+		return 1, nil
+	}
+	u, err := dist.NewUniformSum(widths)
+	if err != nil {
+		return 0, err
+	}
+	return u.CDF(t), nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

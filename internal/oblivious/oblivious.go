@@ -100,7 +100,8 @@ func validateAlphas(alphas []float64) error {
 
 // WinningProbability evaluates Theorem 4.1: the probability that neither
 // bin overflows capacity δ when player i chooses bin 0 with probability
-// alphas[i] and inputs are independent U[0,1].
+// alphas[i] and inputs are independent U[0,1]. WinningProbabilityPi
+// handles heterogeneous ranges x_i ~ U[0, π_i].
 func WinningProbability(alphas []float64, capacity float64) (float64, error) {
 	if err := validateAlphas(alphas); err != nil {
 		return 0, err

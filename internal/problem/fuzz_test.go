@@ -1,0 +1,74 @@
+package problem
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzValidate checks that validation never panics, whatever bits land in
+// the instance, and that instances passing Validate have a well-formed π
+// vector (nil or exactly N strictly positive finite entries).
+func FuzzValidate(f *testing.F) {
+	f.Add(3, 1.0, 0.5, 1.0, 0.75, 3)
+	f.Add(2, 0.0, 0.0, 0.0, 0.0, 0)
+	f.Add(-1, math.Inf(1), math.NaN(), -1.0, 1e308, 2)
+	f.Add(1<<30, math.SmallestNonzeroFloat64, 1.0, 1.0, 1.0, 1)
+	f.Fuzz(func(t *testing.T, n int, delta, p0, p1, p2 float64, npi int) {
+		all := []float64{p0, p1, p2}
+		var pi []float64
+		if npi > 0 {
+			pi = all[:npi%(len(all)+1)]
+		}
+		inst := Instance{N: n, Delta: delta, Pi: pi}
+		err := inst.Validate() // must not panic
+		if err != nil {
+			return
+		}
+		if len(inst.Pi) != 0 && len(inst.Pi) != inst.N {
+			t.Fatalf("Validate accepted π of length %d for n=%d", len(inst.Pi), inst.N)
+		}
+		for i, w := range inst.Pi {
+			if !(w > 0) || math.IsInf(w, 1) {
+				t.Fatalf("Validate accepted π[%d] = %v", i, w)
+			}
+		}
+		// Key and String must also be total on valid instances.
+		_ = inst.Key()
+		_ = inst.String()
+	})
+}
+
+// FuzzKeyInjective checks that the cache key separates distinct
+// instances: two valid instances share a key only when they are the same
+// game — equal (N, Δ bits) and canonically equal π vectors (nil ≡
+// all-ones). Nearby floats differ in bits, so they must not collide.
+func FuzzKeyInjective(f *testing.F) {
+	f.Add(3, 1.0, 1.0, 1.0, 3, 1.0, 0.5, 1.0)
+	f.Add(3, 0.5, 0.5, 0.75, 3, 0.5, 0.5, 0.75)
+	f.Add(2, 1.0, 1.0, 1.0, 2, math.Nextafter(1, 2), 1.0, 1.0)
+	f.Add(2, 0.25, math.Nextafter(0.5, 1), 1.0, 2, 0.25, 0.5, 1.0)
+	f.Fuzz(func(t *testing.T, n1 int, d1, a1, b1 float64, n2 int, d2, a2, b2 float64) {
+		i1 := Instance{N: n1, Delta: d1, Pi: []float64{a1, b1}}
+		i2 := Instance{N: n2, Delta: d2, Pi: []float64{a2, b2}}
+		if i1.Validate() != nil || i2.Validate() != nil {
+			return
+		}
+		if i1.Key() != i2.Key() {
+			return
+		}
+		// Shared key ⇒ same canonical instance.
+		if i1.N != i2.N || math.Float64bits(i1.Delta) != math.Float64bits(i2.Delta) {
+			t.Fatalf("key collision across (N, Δ): %+v vs %+v", i1, i2)
+		}
+		if i1.Heterogeneous() != i2.Heterogeneous() {
+			t.Fatalf("key collision across homogeneity: %+v vs %+v", i1, i2)
+		}
+		if i1.Heterogeneous() {
+			for k := range i1.Pi {
+				if math.Float64bits(i1.Pi[k]) != math.Float64bits(i2.Pi[k]) {
+					t.Fatalf("key collision across π bits: %+v vs %+v", i1, i2)
+				}
+			}
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/problem"
 	"repro/internal/stats"
 )
 
@@ -497,27 +498,31 @@ func WinProbability(sys *model.System, cfg Config) (Result, error) {
 	})
 }
 
-// FeasibilityProbability estimates the probability that SOME assignment of
-// n uniform inputs to the two bins keeps both within capacity — the
-// omniscient full-information benchmark that upper-bounds every distributed
-// algorithm.
-func FeasibilityProbability(n int, capacity float64, cfg Config) (Result, error) {
-	if n < 1 {
-		return Result{}, fmt.Errorf("sim: need at least 1 player, got %d", n)
+// FeasibilityProbability estimates the probability that SOME assignment
+// of the instance's inputs (x_i uniform on [0, π_i]) to the two bins
+// keeps both within capacity — the omniscient full-information benchmark
+// that upper-bounds every distributed algorithm.
+func FeasibilityProbability(inst problem.Instance, cfg Config) (Result, error) {
+	if err := inst.Validate(); err != nil {
+		return Result{}, err
 	}
-	if n > 30 {
-		return Result{}, fmt.Errorf("sim: feasibility limited to 30 players, got %d", n)
+	if inst.N > 30 {
+		return Result{}, fmt.Errorf("sim: feasibility limited to 30 players, got %d", inst.N)
 	}
-	if !(capacity > 0) {
-		return Result{}, fmt.Errorf("sim: capacity %v must be strictly positive", capacity)
-	}
+	widths := inst.Widths()
 	return runBernoulli(cfg, "feasibility", func(int) trialFunc {
-		inputs := make([]float64, n)
+		inputs := make([]float64, inst.N)
 		return func(rng *rand.Rand) (bool, error) {
-			for i := range inputs {
-				inputs[i] = rng.Float64()
+			if widths == nil {
+				for i := range inputs {
+					inputs[i] = rng.Float64()
+				}
+			} else {
+				for i := range inputs {
+					inputs[i] = rng.Float64() * widths[i]
+				}
 			}
-			return model.FeasibleAssignmentExists(inputs, capacity)
+			return model.FeasibleAssignmentExists(inputs, inst.Delta)
 		}
 	})
 }

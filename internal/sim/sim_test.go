@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/problem"
 )
 
 func thresholdSystem(t *testing.T, n int, beta, capacity float64) *model.System {
@@ -110,7 +111,7 @@ func TestFeasibilityProbabilityDominatesThreshold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	feas, err := FeasibilityProbability(3, 1, Config{Trials: 200000, Seed: 3})
+	feas, err := FeasibilityProbability(problem.Instance{N: 3, Delta: 1}, Config{Trials: 200000, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,16 +128,16 @@ func TestFeasibilityProbabilityDominatesThreshold(t *testing.T) {
 
 func TestFeasibilityProbabilityValidation(t *testing.T) {
 	cfg := Config{Trials: 100}
-	if _, err := FeasibilityProbability(0, 1, cfg); err == nil {
+	if _, err := FeasibilityProbability(problem.Instance{N: 0, Delta: 1}, cfg); err == nil {
 		t.Error("n=0: expected error")
 	}
-	if _, err := FeasibilityProbability(31, 1, cfg); err == nil {
+	if _, err := FeasibilityProbability(problem.Instance{N: 31, Delta: 1}, cfg); err == nil {
 		t.Error("n=31: expected error")
 	}
-	if _, err := FeasibilityProbability(3, 0, cfg); err == nil {
+	if _, err := FeasibilityProbability(problem.Instance{N: 3, Delta: 0}, cfg); err == nil {
 		t.Error("zero capacity: expected error")
 	}
-	if _, err := FeasibilityProbability(3, 1, Config{Trials: 0}); err == nil {
+	if _, err := FeasibilityProbability(problem.Instance{N: 3, Delta: 1}, Config{Trials: 0}); err == nil {
 		t.Error("zero trials: expected error")
 	}
 }
