@@ -1,8 +1,9 @@
 # Canonical developer entry points. `make ci` is the tier-1 gate recorded
 # in ROADMAP.md; the race target covers the concurrency-heavy packages
 # (the Monte-Carlo engine with its batch kernel and scratch pools, the
-# metrics/span layer it feeds, and the memoizing evaluation engine with
-# its sharded sweeps) plus the canonical problem package they all share.
+# metrics/span layer it feeds, the memoizing evaluation engine with its
+# sharded sweeps, and the exact evaluators with their sharded subset
+# enumerations) plus the canonical problem package they all share.
 
 GO ?= go
 
@@ -13,14 +14,19 @@ BENCHTIME ?= 1s
 PKG ?= ./...
 LABEL ?= dev
 
-# Benchmark-regression gate: `make bench-check` compares two labeled
-# snapshots already recorded in BENCH_sim.json and fails on >10%
-# regressions in ns/op. Override the pair with BENCH_BASE/BENCH_HEAD, or
-# skip the gate entirely with BENCH_CHECK=0 (escape hatch for machines
-# whose snapshots were recorded elsewhere); re-baseline with
+# Benchmark-regression gate: `make bench-check` compares labeled snapshot
+# pairs already recorded in BENCH_sim.json and fails on >10% regressions
+# in ns/op. Two pairs are gated: the batched Monte-Carlo kernel
+# (BENCH_BASE→BENCH_HEAD) and the exact backend's subset-enumeration
+# benchmarks (BENCH_BASE2→BENCH_HEAD2, the pre-exact snapshot holds only
+# the BenchmarkExact* series). Override the pairs, or skip the gate
+# entirely with BENCH_CHECK=0 (escape hatch for machines whose snapshots
+# were recorded elsewhere); re-baseline with
 # `make bench-json LABEL=<new-label>`.
 BENCH_BASE ?= pre-batch-baseline
 BENCH_HEAD ?= post-batch
+BENCH_BASE2 ?= pre-exact
+BENCH_HEAD2 ?= post-exact
 BENCH_CHECK ?= 1
 
 .PHONY: build test race vet bench bench-json bench-check ci
@@ -32,7 +38,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/sim/... ./internal/obs/... ./internal/engine/...
+	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/sim/... ./internal/obs/... ./internal/engine/... ./internal/nonoblivious/... ./internal/oblivious/...
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +54,7 @@ ifeq ($(BENCH_CHECK),0)
 	@echo "bench-check: skipped (BENCH_CHECK=0)"
 else
 	$(GO) run ./cmd/benchjson -check $(BENCH_BASE),$(BENCH_HEAD)
+	$(GO) run ./cmd/benchjson -check $(BENCH_BASE2),$(BENCH_HEAD2)
 endif
 
 ci: build vet test race bench-check

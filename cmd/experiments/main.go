@@ -78,7 +78,7 @@ func run(args []string) (err error) {
 	// One shared engine so evaluations repeated across experiments (e.g. the
 	// same (n, δ, rule) point appearing in a figure and a table) are served
 	// from the memoization cache, and so -metrics shows one hit/miss tally.
-	eng := engine.New(engine.Config{Sim: cfg, Obs: o})
+	eng := engine.New(engine.Config{Sim: cfg, Obs: o, ExactWorkers: cfg.Workers})
 	params := harness.Params{Points: *points, Sim: cfg, Backend: b, Pi: pi, Engine: eng}
 	var summary strings.Builder
 	for _, id := range harness.IDs() {

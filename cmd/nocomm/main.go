@@ -304,7 +304,7 @@ func cmdEval(g *obsFlags, args []string) (err error) {
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
 	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers, Obs: sess.observer}
-	eng := engine.New(engine.Config{Sim: cfg, Obs: sess.observer})
+	eng := engine.New(engine.Config{Sim: cfg, Obs: sess.observer, ExactWorkers: cfg.Workers})
 	sp := sess.observer.StartSpan("eval")
 	res, err := eng.Evaluate(inst.EngineInstance(), rule, b)
 	sp.End()

@@ -1,0 +1,203 @@
+package combin
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxSubsetTable bounds the ground-set size for the table-building helpers
+// in this file, which materialize one float64 per subset (8·2^n bytes per
+// table; n = 22 is 32 MiB per table).
+const MaxSubsetTable = 22
+
+// sumChunkGrid is the fixed number of chunks the mask range is split into
+// for sharded reductions. The grid depends only on the problem size — never
+// on the worker count — so per-chunk partial sums, and therefore the final
+// fixed-order reduction, are bit-identical for every worker count.
+const sumChunkGrid = 64
+
+// SubsetSums returns sums[mask] = Σ_{i∈mask} vals[i] for every subset mask
+// of {0, ..., len(vals)-1}, via the one-pass low-bit recurrence
+// sums[mask] = sums[mask without its lowest bit] + vals[lowest bit]. Each
+// entry costs one addition, so consecutive-mask walks see fully incremental
+// subset-sum state.
+func SubsetSums(vals []float64) ([]float64, error) {
+	n := len(vals)
+	if n > MaxSubsetTable {
+		return nil, fmt.Errorf("combin: subset-sum table for %d elements exceeds the %d-element limit", n, MaxSubsetTable)
+	}
+	out := make([]float64, uint64(1)<<uint(n))
+	for mask := uint64(1); mask < uint64(len(out)); mask++ {
+		out[mask] = out[mask&(mask-1)] + vals[bits.TrailingZeros64(mask)]
+	}
+	return out, nil
+}
+
+// SubsetProducts returns prods[mask] = Π_{i∈mask} vals[i] for every subset
+// mask of {0, ..., len(vals)-1} (empty product 1), via the same low-bit
+// recurrence as SubsetSums.
+func SubsetProducts(vals []float64) ([]float64, error) {
+	n := len(vals)
+	if n > MaxSubsetTable {
+		return nil, fmt.Errorf("combin: subset-product table for %d elements exceeds the %d-element limit", n, MaxSubsetTable)
+	}
+	out := make([]float64, uint64(1)<<uint(n))
+	out[0] = 1
+	for mask := uint64(1); mask < uint64(len(out)); mask++ {
+		out[mask] = out[mask&(mask-1)] * vals[bits.TrailingZeros64(mask)]
+	}
+	return out, nil
+}
+
+// SumOverSubsets transforms arr in place into its zeta transform:
+// arr[T] becomes Σ_{I⊆T} arr[I]. arr must have length 2^n. The standard
+// bitwise DP runs n passes of 2^(n-1) pair additions each; pass b adds the
+// bit-b-clear half of every aligned block into the bit-b-set half, so
+// writes are disjoint and the result is independent of how the block range
+// is scheduled across workers. workers ≤ 1 runs serially.
+func SumOverSubsets(arr []float64, n, workers int) error {
+	if n < 0 || n > MaxSubsetTable {
+		return fmt.Errorf("combin: sum-over-subsets ground size %d out of range [0, %d]", n, MaxSubsetTable)
+	}
+	size := uint64(1) << uint(n)
+	if uint64(len(arr)) != size {
+		return fmt.Errorf("combin: sum-over-subsets table length %d, want %d", len(arr), size)
+	}
+	for b := 0; b < n; b++ {
+		half := uint64(1) << uint(b)
+		step := half << 1
+		blocks := size / step
+		forChunks(workers, blocks, func(_, lo, hi uint64) {
+			for blk := lo; blk < hi; blk++ {
+				base := blk * step
+				low := arr[base : base+half]
+				high := arr[base+half : base+step : base+step]
+				for i := range high {
+					high[i] += low[i]
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// ChunkedMaskSum sums term(mask) over all 2^n masks through a fixed chunk
+// grid: each chunk is Neumaier-summed on its own Accumulator, and the
+// per-chunk totals are combined by a fixed-order pairwise tree. Both the
+// grid and the reduction order depend only on n, so the result is
+// bit-identical for every worker count. makeTerm is invoked once per
+// worker to build that worker's term function, letting callers attach
+// private scratch state; each term function then sees strictly increasing
+// masks within a chunk. It returns the total and the number of chunks.
+func ChunkedMaskSum(n, workers int, makeTerm func() func(mask uint64) float64) (float64, int, error) {
+	if n < 0 || n > MaxSubsetTable {
+		return 0, 0, fmt.Errorf("combin: chunked mask sum ground size %d out of range [0, %d]", n, MaxSubsetTable)
+	}
+	total := uint64(1) << uint(n)
+	span, nChunks := chunkSpan(total)
+	partial := make([]float64, nChunks)
+	run := func(term func(mask uint64) float64, c, lo, hi uint64) {
+		var acc Accumulator
+		for mask := lo; mask < hi; mask++ {
+			acc.Add(term(mask))
+		}
+		partial[c] = acc.Sum()
+	}
+	if workers <= 1 {
+		term := makeTerm()
+		for c := uint64(0); c < nChunks; c++ {
+			lo := c * span
+			run(term, c, lo, min(lo+span, total))
+		}
+	} else {
+		var cursor atomic.Uint64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				term := makeTerm()
+				for {
+					c := cursor.Add(1) - 1
+					if c >= nChunks {
+						return
+					}
+					lo := c * span
+					run(term, c, lo, min(lo+span, total))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Fixed-order pairwise tree over the chunk totals.
+	for len(partial) > 1 {
+		half := (len(partial) + 1) / 2
+		for i := 0; i < len(partial)/2; i++ {
+			partial[i] = partial[2*i] + partial[2*i+1]
+		}
+		if len(partial)%2 == 1 {
+			partial[half-1] = partial[len(partial)-1]
+		}
+		partial = partial[:half]
+	}
+	return partial[0], int(nChunks), nil
+}
+
+// PowInt returns x^k for k ≥ 0 by binary exponentiation — cheaper and, for
+// the small exponents of the inclusion-exclusion kernels, more accurate
+// than math.Pow.
+func PowInt(x float64, k int) float64 {
+	r := 1.0
+	for k > 0 {
+		if k&1 == 1 {
+			r *= x
+		}
+		x *= x
+		k >>= 1
+	}
+	return r
+}
+
+// chunkSpan splits [0, total) into at most sumChunkGrid equal spans,
+// independent of the worker count.
+func chunkSpan(total uint64) (span, chunks uint64) {
+	if total == 0 {
+		return 1, 0
+	}
+	span = (total + sumChunkGrid - 1) / sumChunkGrid
+	return span, (total + span - 1) / span
+}
+
+// forChunks splits [0, total) into the fixed chunk grid and invokes fn for
+// every chunk, pulled by workers goroutines from an atomic cursor. fn must
+// write only state owned by its range; under that contract the outcome is
+// independent of scheduling.
+func forChunks(workers int, total uint64, fn func(chunk, lo, hi uint64)) {
+	span, nChunks := chunkSpan(total)
+	if workers <= 1 || nChunks <= 1 {
+		for c := uint64(0); c < nChunks; c++ {
+			lo := c * span
+			fn(c, lo, min(lo+span, total))
+		}
+		return
+	}
+	var cursor atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := cursor.Add(1) - 1
+				if c >= nChunks {
+					return
+				}
+				lo := c * span
+				fn(c, lo, min(lo+span, total))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,143 @@
+package combin
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSubsetSumsAndProducts pins both table builders against direct
+// per-mask evaluation.
+func TestSubsetSumsAndProducts(t *testing.T) {
+	vals := []float64{0.5, 1.25, 2, 0.125, 3}
+	sums, err := SubsetSums(vals)
+	if err != nil {
+		t.Fatalf("SubsetSums: %v", err)
+	}
+	prods, err := SubsetProducts(vals)
+	if err != nil {
+		t.Fatalf("SubsetProducts: %v", err)
+	}
+	if len(sums) != 32 || len(prods) != 32 {
+		t.Fatalf("table lengths %d, %d, want 32", len(sums), len(prods))
+	}
+	for mask := uint64(0); mask < 32; mask++ {
+		wantS, wantP := 0.0, 1.0
+		for i, v := range vals {
+			if mask&(1<<uint(i)) != 0 {
+				wantS += v
+				wantP *= v
+			}
+		}
+		// The values are dyadic, so both recurrences are exact.
+		if sums[mask] != wantS {
+			t.Fatalf("sums[%b] = %v, want %v", mask, sums[mask], wantS)
+		}
+		if prods[mask] != wantP {
+			t.Fatalf("prods[%b] = %v, want %v", mask, prods[mask], wantP)
+		}
+	}
+}
+
+// TestSubsetTableLimits covers the table-size guards.
+func TestSubsetTableLimits(t *testing.T) {
+	big := make([]float64, MaxSubsetTable+1)
+	if _, err := SubsetSums(big); err == nil {
+		t.Fatal("SubsetSums accepted an oversized ground set")
+	}
+	if _, err := SubsetProducts(big); err == nil {
+		t.Fatal("SubsetProducts accepted an oversized ground set")
+	}
+	if err := SumOverSubsets(make([]float64, 8), 4, 1); err == nil {
+		t.Fatal("SumOverSubsets accepted a mismatched table length")
+	}
+	if _, _, err := ChunkedMaskSum(MaxSubsetTable+1, 1, nil); err == nil {
+		t.Fatal("ChunkedMaskSum accepted an oversized ground set")
+	}
+}
+
+// TestSumOverSubsets pins the zeta transform against the O(3^n) direct
+// submask sum, serial and worker-parallel (which must agree exactly: the
+// pair additions are identical, only their scheduling differs).
+func TestSumOverSubsets(t *testing.T) {
+	const n = 8
+	base := make([]float64, 1<<n)
+	for mask := range base {
+		base[mask] = math.Sin(float64(mask)+1) / float64(mask+2)
+	}
+	want := make([]float64, len(base))
+	for mask := uint64(0); mask < uint64(len(base)); mask++ {
+		// Direct submask enumeration.
+		sub := mask
+		for {
+			want[mask] += base[sub]
+			if sub == 0 {
+				break
+			}
+			sub = (sub - 1) & mask
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		got := append([]float64(nil), base...)
+		if err := SumOverSubsets(got, n, workers); err != nil {
+			t.Fatalf("SumOverSubsets(workers=%d): %v", workers, err)
+		}
+		for mask := range got {
+			if math.Abs(got[mask]-want[mask]) > 1e-12*(1+math.Abs(want[mask])) {
+				t.Fatalf("workers=%d: zeta[%b] = %v, want %v", workers, mask, got[mask], want[mask])
+			}
+		}
+	}
+	serial := append([]float64(nil), base...)
+	parallel := append([]float64(nil), base...)
+	if err := SumOverSubsets(serial, n, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := SumOverSubsets(parallel, n, 3); err != nil {
+		t.Fatal(err)
+	}
+	for mask := range serial {
+		if math.Float64bits(serial[mask]) != math.Float64bits(parallel[mask]) {
+			t.Fatalf("zeta transform not bit-identical across worker counts at mask %b", mask)
+		}
+	}
+}
+
+// TestChunkedMaskSumDeterminism pins the sharded reduction: exact same
+// bits for 1, 2 and 7 workers, and agreement with a compensated serial sum.
+func TestChunkedMaskSumDeterminism(t *testing.T) {
+	const n = 11
+	term := func(mask uint64) float64 {
+		v := math.Sin(float64(mask) + 0.5)
+		if mask%3 == 1 {
+			return -v
+		}
+		return v
+	}
+	makeTerm := func() func(uint64) float64 { return term }
+	ref, chunks, err := ChunkedMaskSum(n, 1, makeTerm)
+	if err != nil {
+		t.Fatalf("ChunkedMaskSum: %v", err)
+	}
+	if chunks <= 1 {
+		t.Fatalf("expected a multi-chunk grid at n=%d, got %d chunks", n, chunks)
+	}
+	for _, workers := range []int{2, 7} {
+		got, gotChunks, err := ChunkedMaskSum(n, workers, makeTerm)
+		if err != nil {
+			t.Fatalf("ChunkedMaskSum(workers=%d): %v", workers, err)
+		}
+		if gotChunks != chunks {
+			t.Fatalf("chunk grid changed with workers: %d vs %d", gotChunks, chunks)
+		}
+		if math.Float64bits(got) != math.Float64bits(ref) {
+			t.Fatalf("workers=%d sum %v not bit-identical to serial %v", workers, got, ref)
+		}
+	}
+	var acc Accumulator
+	for mask := uint64(0); mask < 1<<n; mask++ {
+		acc.Add(term(mask))
+	}
+	if math.Abs(ref-acc.Sum()) > 1e-10 {
+		t.Fatalf("chunked sum %v far from compensated serial sum %v", ref, acc.Sum())
+	}
+}

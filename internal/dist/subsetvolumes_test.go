@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// TestAllSubsetVolumesMatchesCDF pins every table entry against the
+// independently-derived Lemma 2.4 CDF of the same subset (vol = CDF · Πw).
+func TestAllSubsetVolumesMatchesCDF(t *testing.T) {
+	widths := []float64{0.5, 1, 0.75, 2, 0.25, 1.5}
+	n := len(widths)
+	for _, thr := range []float64{0.2, 1, 2.5, 7} {
+		vol, stats, err := AllSubsetVolumes(widths, thr, 1)
+		if err != nil {
+			t.Fatalf("AllSubsetVolumes(t=%v): %v", thr, err)
+		}
+		if stats.Subsets != 1<<uint(n) {
+			t.Fatalf("stats.Subsets = %d, want %d", stats.Subsets, 1<<uint(n))
+		}
+		if stats.Incremental == 0 {
+			t.Fatal("stats.Incremental = 0, want incremental work recorded")
+		}
+		for mask := uint64(0); mask < uint64(len(vol)); mask++ {
+			var sub []float64
+			prod := 1.0
+			for i, w := range widths {
+				if mask&(1<<uint(i)) != 0 {
+					sub = append(sub, w)
+					prod *= w
+				}
+			}
+			want := prod
+			if len(sub) > 0 {
+				u, err := NewUniformSum(sub)
+				if err != nil {
+					t.Fatalf("NewUniformSum: %v", err)
+				}
+				want = u.CDF(thr) * prod
+			} else if thr < 0 {
+				want = 0
+			}
+			if math.Abs(vol[mask]-want) > 1e-11*(1+prod) {
+				t.Fatalf("t=%v vol[%b] = %v, want %v", thr, mask, vol[mask], want)
+			}
+		}
+	}
+}
+
+// TestAllSubsetVolumesZeroWidth checks that zero widths flatten their
+// subsets' volumes to zero while leaving disjoint subsets untouched.
+func TestAllSubsetVolumesZeroWidth(t *testing.T) {
+	vol, _, err := AllSubsetVolumes([]float64{0.5, 0, 1}, 1, 1)
+	if err != nil {
+		t.Fatalf("AllSubsetVolumes: %v", err)
+	}
+	for mask := uint64(0); mask < 8; mask++ {
+		if mask&2 != 0 {
+			if vol[mask] != 0 {
+				t.Fatalf("vol[%b] = %v, want 0 for a zero-width subset", mask, vol[mask])
+			}
+		} else if vol[mask] <= 0 {
+			t.Fatalf("vol[%b] = %v, want positive", mask, vol[mask])
+		}
+	}
+	// {0, 2}: Vol{0≤y0≤0.5, 0≤y2≤1, y0+y2 ≤ 1} = 0.5·1 − 0.5²/2 = 0.375.
+	if math.Abs(vol[5]-0.375) > 1e-12 {
+		t.Fatalf("vol[101] = %v, want 0.375", vol[5])
+	}
+}
+
+// TestAllSubsetVolumesWorkersBitIdentical requires the sharded zeta passes
+// to reproduce the serial bits exactly.
+func TestAllSubsetVolumesWorkersBitIdentical(t *testing.T) {
+	widths := make([]float64, 12)
+	for i := range widths {
+		widths[i] = 0.25 + 0.125*float64(i%5)
+	}
+	ref, _, err := AllSubsetVolumes(widths, 2.5, 1)
+	if err != nil {
+		t.Fatalf("AllSubsetVolumes: %v", err)
+	}
+	for _, workers := range []int{2, 4} {
+		got, _, err := AllSubsetVolumes(widths, 2.5, workers)
+		if err != nil {
+			t.Fatalf("AllSubsetVolumes(workers=%d): %v", workers, err)
+		}
+		for mask := range got {
+			if math.Float64bits(got[mask]) != math.Float64bits(ref[mask]) {
+				t.Fatalf("workers=%d: vol[%b] differs from serial (%v vs %v)",
+					workers, mask, got[mask], ref[mask])
+			}
+		}
+	}
+}
+
+// TestAllSubsetVolumesRejects covers the validation paths.
+func TestAllSubsetVolumesRejects(t *testing.T) {
+	if _, _, err := AllSubsetVolumes([]float64{-1}, 1, 1); err == nil {
+		t.Fatal("accepted a negative width")
+	}
+	if _, _, err := AllSubsetVolumes([]float64{math.NaN()}, 1, 1); err == nil {
+		t.Fatal("accepted a NaN width")
+	}
+	if _, _, err := AllSubsetVolumes([]float64{1}, math.Inf(1), 1); err == nil {
+		t.Fatal("accepted an infinite threshold")
+	}
+	if _, _, err := AllSubsetVolumes(make([]float64, 40), 1, 1); err == nil {
+		t.Fatal("accepted an oversized dimension")
+	}
+}
+
+// TestAllSubsetVolumesPopcountCoverage sanity-checks that every
+// cardinality layer was filled (no pass skipped).
+func TestAllSubsetVolumesPopcountCoverage(t *testing.T) {
+	widths := []float64{0.5, 0.5, 0.5, 0.5}
+	vol, _, err := AllSubsetVolumes(widths, 10, 1) // t beyond support: every CDF is 1
+	if err != nil {
+		t.Fatalf("AllSubsetVolumes: %v", err)
+	}
+	for mask := uint64(0); mask < 16; mask++ {
+		want := math.Pow(0.5, float64(bits.OnesCount64(mask)))
+		if math.Abs(vol[mask]-want) > 1e-12 {
+			t.Fatalf("vol[%b] = %v, want full box %v", mask, vol[mask], want)
+		}
+	}
+}

@@ -112,8 +112,13 @@ type Config struct {
 	Sim sim.Config
 	// Obs optionally registers the engine's cache hit/miss and
 	// per-backend evaluation counters (engine.cache.hits,
-	// engine.cache.misses, engine.evals.exact, engine.evals.mc).
+	// engine.cache.misses, engine.evals.exact, engine.evals.mc) plus the
+	// exact backend's exact.* enumeration counters.
 	Obs *obs.Observer
+	// ExactWorkers shards the exact backend's subset enumeration for rules
+	// implementing ExactOpts. 0 selects the repo-wide default
+	// (sim.WorkerCount: GOMAXPROCS), clamped to the 64-chunk shard grid.
+	ExactWorkers int
 }
 
 // DefaultTrials is the Monte-Carlo trial count used when neither the
@@ -124,8 +129,9 @@ const DefaultTrials = 200_000
 // concurrency-safe memoization cache. The zero value is not usable; use
 // New.
 type Engine struct {
-	simCfg sim.Config
-	obs    *obs.Observer
+	simCfg       sim.Config
+	obs          *obs.Observer
+	exactWorkers int
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -145,7 +151,7 @@ func New(cfg Config) *Engine {
 	if cfg.Sim.Trials <= 0 {
 		cfg.Sim.Trials = DefaultTrials
 	}
-	return &Engine{simCfg: cfg.Sim, obs: cfg.Obs, entries: make(map[string]*entry)}
+	return &Engine{simCfg: cfg.Sim, obs: cfg.Obs, exactWorkers: cfg.ExactWorkers, entries: make(map[string]*entry)}
 }
 
 var (
@@ -184,9 +190,12 @@ func (e *Engine) Evaluate(inst Instance, r Rule, backend Backend) (Result, error
 // the tolerance is the (Trials, Seed, Workers) triple for Monte-Carlo —
 // the knobs that change the returned bits — and is empty for Exact
 // (rule-level tolerances such as oracle grids are part of the
-// fingerprint). Observability settings are deliberately NOT part of the
-// key: they never change the result, but a cache hit skips the simulation
-// and therefore re-emits no convergence events.
+// fingerprint). ExactWorkers is deliberately NOT part of the key: the
+// sharded exact backend reduces over a fixed chunk grid in a fixed order,
+// so every worker count returns bit-identical values. Observability
+// settings are likewise excluded: they never change the result, but a
+// cache hit skips the simulation and therefore re-emits no convergence
+// events.
 func (e *Engine) EvaluateWith(inst Instance, r Rule, backend Backend, simCfg sim.Config) (Result, error) {
 	if r == nil {
 		return Result{}, fmt.Errorf("engine: nil rule")
@@ -263,7 +272,19 @@ func (e *Engine) compute(inst Instance, r Rule, backend Backend, simCfg sim.Conf
 	switch backend {
 	case Exact:
 		e.obs.Counter("engine.evals.exact").Inc()
-		p, err := r.(ExactEvaluator).ExactWinProbability(inst)
+		var p float64
+		var err error
+		if ro, ok := r.(ExactOpts); ok {
+			// Clamp to the shard grid: combin.ChunkedMaskSum splits every
+			// enumeration into 64 chunks, so more workers would sit idle.
+			workers, werr := sim.WorkerCount(e.exactWorkers, 64)
+			if werr != nil {
+				return Result{}, werr
+			}
+			p, err = ro.ExactWinProbabilityOpts(inst, workers, e.obs)
+		} else {
+			p, err = r.(ExactEvaluator).ExactWinProbability(inst)
+		}
 		if err != nil {
 			return Result{}, err
 		}

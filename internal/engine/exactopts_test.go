@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/problem"
+)
+
+// TestExactWorkersBitIdentical evaluates the sharded exact rules through
+// engines with different ExactWorkers settings and requires bit-identical
+// probabilities — the invariant that keeps ExactWorkers out of the cache
+// key — plus populated exact.* enumeration counters.
+func TestExactWorkersBitIdentical(t *testing.T) {
+	inst := Instance{N: 6, Delta: 2, Pi: []float64{0.5, 1.25, 0.75, 2, 1, 1.5}}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rules := []Rule{
+		Threshold{Thresholds: []float64{0.25, 0.5, 0.75, 0.375, 0.625, 0.5}},
+		SymmetricThreshold{Beta: 0.625},
+		Oblivious{Alphas: []float64{0.25, 0.5, 0.75, 0.375, 0.625, 0.5}},
+		SymmetricOblivious{A: 0.5},
+		DeterministicSplit{K: 3},
+	}
+	for _, r := range rules {
+		if _, ok := r.(ExactOpts); !ok {
+			t.Fatalf("rule %s does not implement ExactOpts", r.Name())
+		}
+	}
+	reg := obs.NewRegistry()
+	base := New(Config{Obs: obs.New(reg, nil), ExactWorkers: 1})
+	sharded := New(Config{ExactWorkers: 4})
+	for _, r := range rules {
+		want, err := base.Evaluate(inst, r, Exact)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", r.Name(), err)
+		}
+		got, err := sharded.Evaluate(inst, r, Exact)
+		if err != nil {
+			t.Fatalf("%s workers=4: %v", r.Name(), err)
+		}
+		if math.Float64bits(got.P) != math.Float64bits(want.P) {
+			t.Errorf("%s: workers=4 returned %x, workers=1 returned %x",
+				r.Name(), math.Float64bits(got.P), math.Float64bits(want.P))
+		}
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{"exact.subsets", "exact.steps.incremental", "exact.chunks"} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s not populated: %d", name, snap.Counters[name])
+		}
+	}
+	if snap.Gauges["exact.workers"] != 1 {
+		t.Errorf("exact.workers gauge = %v, want 1", snap.Gauges["exact.workers"])
+	}
+	// The homogeneous game still routes through the Opts path (serial
+	// closed forms for the symmetric rules, sharded SOS for Threshold).
+	homog := problem.Instance{N: 6, Delta: 2}
+	for _, r := range rules {
+		want, err := base.Evaluate(homog, r, Exact)
+		if err != nil {
+			t.Fatalf("%s homogeneous workers=1: %v", r.Name(), err)
+		}
+		got, err := sharded.Evaluate(homog, r, Exact)
+		if err != nil {
+			t.Fatalf("%s homogeneous workers=4: %v", r.Name(), err)
+		}
+		if math.Float64bits(got.P) != math.Float64bits(want.P) {
+			t.Errorf("%s homogeneous: workers=4 returned %x, workers=1 returned %x",
+				r.Name(), math.Float64bits(got.P), math.Float64bits(want.P))
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/model"
 	"repro/internal/nonoblivious"
+	"repro/internal/obs"
 	"repro/internal/oblivious"
 	"repro/internal/problem"
 	"repro/internal/py91"
@@ -46,6 +47,18 @@ type ExactEvaluator interface {
 	// ExactWinProbability computes the rule's winning probability on the
 	// instance without sampling.
 	ExactWinProbability(inst Instance) (float64, error)
+}
+
+// ExactOpts is implemented by exact rules whose oracle supports sharded
+// subset enumeration and observability — the oblivious and threshold
+// families, whose Theorem 4.1 / 5.1 evaluations shard across workers with
+// bit-identical results for every worker count. The engine prefers it over
+// plain ExactEvaluator, passing its resolved ExactWorkers and observer.
+type ExactOpts interface {
+	ExactEvaluator
+	// ExactWinProbabilityOpts is ExactWinProbability with explicit worker
+	// sharding (≤ 1 means serial) and optional instrumentation.
+	ExactWinProbabilityOpts(inst Instance, workers int, o *obs.Observer) (float64, error)
 }
 
 // Simulator is implemented by rules that carry their own Monte-Carlo
@@ -120,8 +133,15 @@ func (r SymmetricOblivious) System(inst Instance) (*model.System, error) {
 // ExactWinProbability implements ExactEvaluator through Theorem 4.1 (its
 // heterogeneous generalization when the instance carries a π vector).
 func (r SymmetricOblivious) ExactWinProbability(inst Instance) (float64, error) {
+	return r.ExactWinProbabilityOpts(inst, 0, nil)
+}
+
+// ExactWinProbabilityOpts implements ExactOpts. The homogeneous closed
+// form is O(n²) and ignores the worker count; the heterogeneous subset
+// enumeration shards across workers.
+func (r SymmetricOblivious) ExactWinProbabilityOpts(inst Instance, workers int, o *obs.Observer) (float64, error) {
 	if inst.Heterogeneous() {
-		return oblivious.WinningProbabilityPi(repeated(r.A, inst.N), inst.Pi, inst.Delta)
+		return oblivious.WinningProbabilityPiOpts(repeated(r.A, inst.N), inst.Pi, inst.Delta, workers, o)
 	}
 	return oblivious.SymmetricWinningProbability(inst.N, inst.Delta, r.A)
 }
@@ -165,11 +185,18 @@ func (r Oblivious) System(inst Instance) (*model.System, error) {
 // ExactWinProbability implements ExactEvaluator through Theorem 4.1 (its
 // heterogeneous generalization when the instance carries a π vector).
 func (r Oblivious) ExactWinProbability(inst Instance) (float64, error) {
+	return r.ExactWinProbabilityOpts(inst, 0, nil)
+}
+
+// ExactWinProbabilityOpts implements ExactOpts. The homogeneous
+// Poisson-binomial evaluation is O(n²) and ignores the worker count; the
+// heterogeneous subset enumeration shards across workers.
+func (r Oblivious) ExactWinProbabilityOpts(inst Instance, workers int, o *obs.Observer) (float64, error) {
 	if err := r.check(inst); err != nil {
 		return 0, err
 	}
 	if inst.Heterogeneous() {
-		return oblivious.WinningProbabilityPi(r.Alphas, inst.Pi, inst.Delta)
+		return oblivious.WinningProbabilityPiOpts(r.Alphas, inst.Pi, inst.Delta, workers, o)
 	}
 	return oblivious.WinningProbability(r.Alphas, inst.Delta)
 }
@@ -211,14 +238,16 @@ func (r DeterministicSplit) System(inst Instance) (*model.System, error) {
 // ExactWinProbability implements ExactEvaluator through Theorem 4.1 at the
 // 0/1 vertex.
 func (r DeterministicSplit) ExactWinProbability(inst Instance) (float64, error) {
+	return r.ExactWinProbabilityOpts(inst, 0, nil)
+}
+
+// ExactWinProbabilityOpts implements ExactOpts (see Oblivious).
+func (r DeterministicSplit) ExactWinProbabilityOpts(inst Instance, workers int, o *obs.Observer) (float64, error) {
 	alphas, err := r.alphas(inst)
 	if err != nil {
 		return 0, err
 	}
-	if inst.Heterogeneous() {
-		return oblivious.WinningProbabilityPi(alphas, inst.Pi, inst.Delta)
-	}
-	return oblivious.WinningProbability(alphas, inst.Delta)
+	return Oblivious{Alphas: alphas}.ExactWinProbabilityOpts(inst, workers, o)
 }
 
 // ---------------------------------------------------------------------------
@@ -249,8 +278,15 @@ func (r SymmetricThreshold) System(inst Instance) (*model.System, error) {
 // ExactWinProbability implements ExactEvaluator through Theorem 5.1 (its
 // heterogeneous generalization when the instance carries a π vector).
 func (r SymmetricThreshold) ExactWinProbability(inst Instance) (float64, error) {
+	return r.ExactWinProbabilityOpts(inst, 0, nil)
+}
+
+// ExactWinProbabilityOpts implements ExactOpts. The homogeneous symmetric
+// closed form ignores the worker count; the heterogeneous subset
+// enumeration shards across workers.
+func (r SymmetricThreshold) ExactWinProbabilityOpts(inst Instance, workers int, o *obs.Observer) (float64, error) {
 	if inst.Heterogeneous() {
-		return nonoblivious.WinningProbabilityPi(repeated(r.Beta, inst.N), inst.Pi, inst.Delta)
+		return nonoblivious.WinningProbabilityPiOpts(repeated(r.Beta, inst.N), inst.Pi, inst.Delta, workers, o)
 	}
 	return nonoblivious.SymmetricWinningProbability(inst.N, inst.Delta, r.Beta)
 }
@@ -294,13 +330,19 @@ func (r Threshold) System(inst Instance) (*model.System, error) {
 // ExactWinProbability implements ExactEvaluator through Theorem 5.1 (its
 // heterogeneous generalization when the instance carries a π vector).
 func (r Threshold) ExactWinProbability(inst Instance) (float64, error) {
+	return r.ExactWinProbabilityOpts(inst, 0, nil)
+}
+
+// ExactWinProbabilityOpts implements ExactOpts: both the homogeneous and
+// heterogeneous Theorem 5.1 enumerations shard across workers.
+func (r Threshold) ExactWinProbabilityOpts(inst Instance, workers int, o *obs.Observer) (float64, error) {
 	if err := r.check(inst); err != nil {
 		return 0, err
 	}
 	if inst.Heterogeneous() {
-		return nonoblivious.WinningProbabilityPi(r.Thresholds, inst.Pi, inst.Delta)
+		return nonoblivious.WinningProbabilityPiOpts(r.Thresholds, inst.Pi, inst.Delta, workers, o)
 	}
-	return nonoblivious.WinningProbability(r.Thresholds, inst.Delta)
+	return nonoblivious.WinningProbabilityOpts(r.Thresholds, inst.Delta, workers, o)
 }
 
 // ---------------------------------------------------------------------------

@@ -15,7 +15,10 @@ const MaxNExact = 10
 // WinningProbabilityRat evaluates Theorem 5.1 exactly for rational
 // thresholds and capacity. It is the certified oracle behind the float64
 // path: Σ_b N₀(b)·N₁(b) with both numerators computed in exact rational
-// arithmetic.
+// arithmetic. The outer enumeration walks bin vectors in Gray-code order,
+// maintaining the two bins' threshold lists by O(1) swap-deletes per step
+// (the numerators are symmetric in their arguments, so list order is
+// immaterial).
 func WinningProbabilityRat(thresholds []*big.Rat, capacity *big.Rat) (*big.Rat, error) {
 	n := len(thresholds)
 	if n < 2 {
@@ -34,16 +37,35 @@ func WinningProbabilityRat(thresholds []*big.Rat, capacity *big.Rat) (*big.Rat, 
 		}
 	}
 	total := new(big.Rat)
-	zeros := make([]*big.Rat, 0, n)
+	// Gray walk state: player i's threshold lives at index loc[i] of the
+	// bin its current side selects; zeroID/oneID invert loc for the
+	// swap-delete that keeps both lists dense.
+	zeros := make([]*big.Rat, n)
+	zeroID := make([]int, n)
+	loc := make([]int, n)
+	for i, a := range thresholds {
+		zeros[i], zeroID[i], loc[i] = a, i, i
+	}
 	ones := make([]*big.Rat, 0, n)
-	err := combin.ForEachSubset(n, func(b uint64) bool {
-		zeros = zeros[:0]
-		ones = ones[:0]
-		for i := 0; i < n; i++ {
-			if b&(1<<uint(i)) == 0 {
-				zeros = append(zeros, thresholds[i])
-			} else {
-				ones = append(ones, thresholds[i])
+	oneID := make([]int, 0, n)
+	err := combin.ForEachSubsetGray(n, func(b uint64, flipped int, added bool) bool {
+		if flipped >= 0 {
+			if added { // bin 0 → bin 1
+				j, last := loc[flipped], len(zeros)-1
+				zeros[j], zeroID[j] = zeros[last], zeroID[last]
+				loc[zeroID[j]] = j
+				zeros, zeroID = zeros[:last], zeroID[:last]
+				loc[flipped] = len(ones)
+				ones = append(ones, thresholds[flipped])
+				oneID = append(oneID, flipped)
+			} else { // bin 1 → bin 0
+				j, last := loc[flipped], len(ones)-1
+				ones[j], oneID[j] = ones[last], oneID[last]
+				loc[oneID[j]] = j
+				ones, oneID = ones[:last], oneID[:last]
+				loc[flipped] = len(zeros)
+				zeros = append(zeros, thresholds[flipped])
+				zeroID = append(zeroID, flipped)
 			}
 		}
 		n0, err := bin0NumeratorRat(zeros, capacity)

@@ -9,7 +9,10 @@
 //     evaluated as Σ_b N₀(b)·N₁(b) where N₀ is the joint probability that
 //     the "low" players fit in bin 0 (a Proposition 2.2 volume) and N₁ the
 //     joint probability that the "high" players fit in bin 1 (a Lemma 2.7
-//     tail), with an O(n²) fast path for symmetric thresholds.
+//     tail). Both numerator families are tabulated for every subset at
+//     once by per-cardinality sum-over-subsets transforms (O(n²·2^n)
+//     total; see WinningProbabilityOpts), with an O(n²) fast path for
+//     symmetric thresholds.
 //   - SymbolicSymmetric — the exact Section 5.2 analysis for any n and
 //     rational δ: the winning probability as a piecewise polynomial in the
 //     common threshold β with exact rational breakpoints and coefficients.
@@ -28,9 +31,13 @@ import (
 	"repro/internal/poly"
 )
 
-// MaxNGeneral bounds the player count for arbitrary threshold vectors;
-// the Theorem 5.1 sum costs Θ(3^n).
-const MaxNGeneral = 15
+// MaxNGeneral bounds the player count for arbitrary threshold vectors.
+// The sum-over-subsets evaluation (see WinningProbabilityOpts) costs
+// O(n²·2^n) time and a handful of 2^n-entry float64 tables, with float64
+// accuracy certified against the rational oracle by ExactErrorBound —
+// which is what allows 20 players where the old Θ(3^n) per-subset
+// inclusion-exclusion capped out at 15.
+const MaxNGeneral = 20
 
 // MaxNSymmetric bounds the player count for the symmetric fast path,
 // matching the float64 cancellation limit of the underlying alternating
@@ -47,138 +54,10 @@ func validateCapacity(capacity float64) error {
 // WinningProbability evaluates Theorem 5.1: the probability that neither
 // bin overflows capacity δ when player i uses threshold thresholds[i] and
 // inputs are independent U[0,1]. WinningProbabilityPi handles
-// heterogeneous ranges x_i ~ U[0, π_i].
+// heterogeneous ranges x_i ~ U[0, π_i]; WinningProbabilityOpts exposes
+// worker sharding and observability.
 func WinningProbability(thresholds []float64, capacity float64) (float64, error) {
-	n := len(thresholds)
-	if n < 2 {
-		return 0, fmt.Errorf("nonoblivious: need at least 2 players, got %d", n)
-	}
-	if n > MaxNGeneral {
-		return 0, fmt.Errorf("nonoblivious: general evaluation limited to %d players, got %d", MaxNGeneral, n)
-	}
-	if err := validateCapacity(capacity); err != nil {
-		return 0, err
-	}
-	for i, a := range thresholds {
-		if math.IsNaN(a) || a < 0 || a > 1 {
-			return 0, fmt.Errorf("nonoblivious: threshold[%d] = %v outside [0, 1]", i, a)
-		}
-	}
-	var total combin.Accumulator
-	zeros := make([]float64, 0, n)
-	ones := make([]float64, 0, n)
-	err := combin.ForEachSubset(n, func(b uint64) bool {
-		zeros = zeros[:0]
-		ones = ones[:0]
-		for i := 0; i < n; i++ {
-			if b&(1<<uint(i)) == 0 {
-				zeros = append(zeros, thresholds[i])
-			} else {
-				ones = append(ones, thresholds[i])
-			}
-		}
-		n0 := bin0Numerator(zeros, capacity)
-		if n0 == 0 {
-			return true
-		}
-		n1 := bin1Numerator(ones, capacity)
-		total.Add(n0 * n1)
-		return true
-	})
-	if err != nil {
-		return 0, err
-	}
-	return clamp01(total.Sum()), nil
-}
-
-// bin0Numerator returns P(Σ_{i∈Z} x_i ≤ δ and x_i ≤ a_i for all i ∈ Z)
-// for independent U[0,1] inputs — the volume of the Proposition 2.2
-// polytope ΣΠ(δ·1, a_Z):
-//
-//	(1/|Z|!) Σ_{I ⊆ Z, Σ_I a < δ} (-1)^|I| (δ - Σ_I a)^|Z|.
-func bin0Numerator(a []float64, capacity float64) float64 {
-	m := len(a)
-	if m == 0 {
-		return 1
-	}
-	var acc combin.Accumulator
-	var running float64
-	_ = combin.ForEachSubsetGray(m, func(mask uint64, flipped int, added bool) bool {
-		if flipped >= 0 {
-			if added {
-				running += a[flipped]
-			} else {
-				running -= a[flipped]
-			}
-		}
-		rem := capacity - running
-		if rem <= 0 {
-			return true
-		}
-		v := math.Pow(rem, float64(m))
-		if combin.Popcount(mask)%2 == 1 {
-			v = -v
-		}
-		acc.Add(v)
-		return true
-	})
-	f, err := combin.FactorialFloat(m)
-	if err != nil {
-		return math.NaN()
-	}
-	v := acc.Sum() / f
-	if v < 0 {
-		return 0
-	}
-	return v
-}
-
-// bin1Numerator returns P(Σ_{i∈O} x_i ≤ δ and x_i > a_i for all i ∈ O)
-// for independent U[0,1] inputs — the Lemma 2.7 tail scaled by the
-// conditioning probability:
-//
-//	Π_{O}(1-a_l) - (1/|O|!) Σ_{I ⊆ O, |O|-δ-|I|+Σ_I a > 0}
-//	   (-1)^|I| (|O| - δ - |I| + Σ_I a)^|O|.
-func bin1Numerator(a []float64, capacity float64) float64 {
-	m := len(a)
-	if m == 0 {
-		return 1
-	}
-	prod := 1.0
-	for _, ai := range a {
-		prod *= 1 - ai
-	}
-	base := float64(m) - capacity
-	var acc combin.Accumulator
-	var running float64
-	_ = combin.ForEachSubsetGray(m, func(mask uint64, flipped int, added bool) bool {
-		if flipped >= 0 {
-			if added {
-				running += a[flipped]
-			} else {
-				running -= a[flipped]
-			}
-		}
-		rem := base - float64(combin.Popcount(mask)) + running
-		if rem <= 0 {
-			return true
-		}
-		v := math.Pow(rem, float64(m))
-		if combin.Popcount(mask)%2 == 1 {
-			v = -v
-		}
-		acc.Add(v)
-		return true
-	})
-	f, err := combin.FactorialFloat(m)
-	if err != nil {
-		return math.NaN()
-	}
-	v := prod - acc.Sum()/f
-	if v < 0 {
-		return 0
-	}
-	return v
+	return WinningProbabilityOpts(thresholds, capacity, 0, nil)
 }
 
 // SymmetricWinningProbability evaluates Theorem 5.1 when every player uses

@@ -6,29 +6,43 @@ import (
 
 	"repro/internal/combin"
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
-// MaxNHetero bounds the player count for heterogeneous-input evaluation:
-// the subset sum below costs Θ(3^n), matching the general non-oblivious
-// evaluator's budget.
-const MaxNHetero = 15
+// MaxNHetero bounds the player count for heterogeneous-input evaluation.
+// The sum-over-subsets volume table costs O(n²·2^n) time and a handful of
+// 2^n-entry float64 arrays (8·2^n bytes each), so n = 20 — double the old
+// Θ(3^n) per-subset-CDF limit — evaluates in well under a second.
+const MaxNHetero = 20
 
 // WinningProbabilityPi generalizes Theorem 4.1 to heterogeneous inputs
 // x_i ~ U[0, π_i]: the probability that neither bin overflows capacity δ
 // when player i chooses bin 0 with probability alphas[i]. A nil (or
 // all-ones) π delegates to the homogeneous Theorem 4.1 evaluator.
+func WinningProbabilityPi(alphas, pi []float64, capacity float64) (float64, error) {
+	return WinningProbabilityPiOpts(alphas, pi, capacity, 0, nil)
+}
+
+// WinningProbabilityPiOpts is WinningProbabilityPi with explicit worker
+// sharding and observability. workers ≤ 1 evaluates serially; any worker
+// count returns bit-identical results (the enumeration is split on a fixed
+// chunk grid with a fixed-order reduction), so callers may key caches on
+// the inputs alone. A nil observer disables instrumentation.
 //
 // With unequal ranges the bin loads are no longer exchangeable, so the
-// Poisson-binomial collapse over |b| does not apply; instead the 2^n
-// bin-choice vectors are summed directly,
+// Poisson-binomial collapse over |b| does not apply; the 2^n bin-choice
+// vectors are summed directly,
 //
 //	P = Σ_S Π_{i∈S}(1-α_i) · Π_{i∉S}α_i · F_{Sᶜ}(δ) · F_S(δ),
 //
 // where S is the bin-1 set and F_T is the Lemma 2.4 CDF of Σ_{i∈T} x_i
-// (dist.UniformSum over that subset's ranges, F_∅ ≡ 1) — exactly the
-// φ_δ(k) = F_k(δ)F_{n-k}(δ) product of the homogeneous proof with
-// Irwin-Hall CDFs replaced by their heterogeneous generalization.
-func WinningProbabilityPi(alphas, pi []float64, capacity float64) (float64, error) {
+// (F_∅ ≡ 1) — the φ_δ(k) = F_k(δ)F_{n-k}(δ) product of the homogeneous
+// proof with Irwin-Hall CDFs replaced by their heterogeneous
+// generalization. All 2^n CDFs come from one dist.AllSubsetVolumes
+// sum-over-subsets table (O(n²·2^n) total) instead of a fresh Θ(2^|T|)
+// inclusion-exclusion per subset, and the bin-choice weights come from two
+// low-bit-recurrence product tables, making each summand O(1).
+func WinningProbabilityPiOpts(alphas, pi []float64, capacity float64, workers int, o *obs.Observer) (float64, error) {
 	if err := validateAlphas(alphas); err != nil {
 		return 0, err
 	}
@@ -57,59 +71,54 @@ func WinningProbabilityPi(alphas, pi []float64, capacity float64) (float64, erro
 	if !(capacity > 0) || math.IsInf(capacity, 1) {
 		return 0, fmt.Errorf("oblivious: capacity %v must be strictly positive and finite", capacity)
 	}
-	var total combin.Accumulator
-	var cdfErr error
-	zeros := make([]float64, 0, n)
-	ones := make([]float64, 0, n)
-	err := combin.ForEachSubset(n, func(b uint64) bool {
-		weight := 1.0
-		zeros = zeros[:0]
-		ones = ones[:0]
-		for i := 0; i < n; i++ {
-			if b&(1<<uint(i)) == 0 {
-				weight *= alphas[i]
-				zeros = append(zeros, pi[i])
-			} else {
-				weight *= 1 - alphas[i]
-				ones = append(ones, pi[i])
+	if workers <= 0 {
+		workers = 1
+	}
+	vol, stats, err := dist.AllSubsetVolumes(pi, capacity, workers)
+	if err != nil {
+		return 0, err
+	}
+	piProd, err := combin.SubsetProducts(pi)
+	if err != nil {
+		return 0, err
+	}
+	pZero, err := combin.SubsetProducts(alphas) // Π_{i∈T} α_i
+	if err != nil {
+		return 0, err
+	}
+	oneMinus := make([]float64, n)
+	for i, a := range alphas {
+		oneMinus[i] = 1 - a
+	}
+	pOne, err := combin.SubsetProducts(oneMinus) // Π_{i∈T} (1-α_i)
+	if err != nil {
+		return 0, err
+	}
+	// F_T(δ) = vol[T] / Π_{i∈T} π_i, reusing the volume table in place.
+	cdf := vol
+	for mask := range cdf {
+		cdf[mask] = clamp01(cdf[mask] / piProd[mask])
+	}
+	full := (uint64(1) << uint(n)) - 1
+	total, chunks, err := combin.ChunkedMaskSum(n, workers, func() func(uint64) float64 {
+		return func(s uint64) float64 {
+			z := full &^ s
+			w := pZero[z] * pOne[s]
+			if w == 0 {
+				return 0
 			}
+			return w * cdf[z] * cdf[s]
 		}
-		if weight == 0 {
-			return true
-		}
-		var f0, f1 float64
-		if f0, cdfErr = subsetCDF(zeros, capacity); cdfErr != nil {
-			return false
-		}
-		if f0 == 0 {
-			return true
-		}
-		if f1, cdfErr = subsetCDF(ones, capacity); cdfErr != nil {
-			return false
-		}
-		total.Add(weight * f0 * f1)
-		return true
 	})
-	if err == nil {
-		err = cdfErr
-	}
 	if err != nil {
 		return 0, err
 	}
-	return clamp01(total.Sum()), nil
-}
-
-// subsetCDF returns P(Σ U[0, w_i] ≤ t) for the given ranges, with the
-// empty sum fitting always.
-func subsetCDF(widths []float64, t float64) (float64, error) {
-	if len(widths) == 0 {
-		return 1, nil
-	}
-	u, err := dist.NewUniformSum(widths)
-	if err != nil {
-		return 0, err
-	}
-	return u.CDF(t), nil
+	o.Counter("exact.subsets").Add(int64(stats.Subsets))
+	o.Counter("exact.steps.incremental").Add(int64(stats.Incremental))
+	o.Counter("exact.steps.rebuilt").Add(int64(stats.Rebuilt))
+	o.Counter("exact.chunks").Add(int64(chunks))
+	o.Gauge("exact.workers").Set(float64(workers))
+	return clamp01(total), nil
 }
 
 func clamp01(v float64) float64 {
@@ -120,4 +129,38 @@ func clamp01(v float64) float64 {
 		return 1
 	}
 	return v
+}
+
+// ExactErrorBound is the documented absolute-error bound of the float64
+// heterogeneous evaluator against the exact rational value (see
+// WinningProbabilityPiRat): a conservative forward-error analysis of the
+// inclusion-exclusion terms — at most n²·2^n compensated operations on
+// terms no larger than M = max_m r^m/m! with r = max(δ, n−δ, 1), divided
+// by the subset range products (bounded below by min(π_i, 1)^n). piMin is
+// the smallest input range (pass 1 for homogeneous inputs). The bound is
+// deliberately loose — observed errors at n = 10 are several orders of
+// magnitude smaller — but it is certified: the property tests pin the
+// float path against the big.Rat oracle within exactly this bound.
+func ExactErrorBound(n int, capacity, piMin float64) float64 {
+	return sosErrorBound(n, capacity, piMin, float64(n)*float64(n)*math.Exp2(float64(n)))
+}
+
+// sosErrorBound is the shared bound kernel: ops compensated operations on
+// inclusion-exclusion terms of magnitude ≤ max_m r^m/m!, inflated by the
+// worst-case range normalization.
+func sosErrorBound(n int, capacity, piMin, ops float64) float64 {
+	if n < 1 {
+		return 0
+	}
+	r := math.Max(math.Max(capacity, float64(n)-capacity), 1)
+	mag, term := 1.0, 1.0
+	for m := 1; m <= n; m++ {
+		term *= r / float64(m)
+		mag = math.Max(mag, term)
+	}
+	norm := 1.0
+	if piMin > 0 && piMin < 1 {
+		norm = math.Pow(piMin, -float64(n))
+	}
+	return 32 * ops * mag * norm * 0x1p-53
 }

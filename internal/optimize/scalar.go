@@ -147,8 +147,8 @@ func GridThenGoldenMaxObserved(o *obs.Observer, f func(float64) float64, lo, hi 
 		}
 	}
 	o.Counter("opt.grid.evals").Add(int64(evals))
-	bLo := lo + float64(maxInt(bestI-1, 0))*h
-	bHi := lo + float64(minInt(bestI+1, gridPoints-1))*h
+	bLo := lo + float64(max(bestI-1, 0))*h
+	bHi := lo + float64(min(bestI+1, gridPoints-1))*h
 	res, err := GoldenSectionMaxObserved(o, f, bLo, bHi, tol)
 	if err != nil {
 		return ScalarResult{}, err
@@ -159,20 +159,6 @@ func GridThenGoldenMaxObserved(o *obs.Observer, f func(float64) float64, lo, hi 
 		res.Value = bestV
 	}
 	return res, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Bisect finds a root of f in [lo, hi] by bisection. f(lo) and f(hi) must
