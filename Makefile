@@ -16,20 +16,24 @@ LABEL ?= dev
 
 # Benchmark-regression gate: `make bench-check` compares labeled snapshot
 # pairs already recorded in BENCH_sim.json and fails on >10% regressions
-# in ns/op. Two pairs are gated: the batched Monte-Carlo kernel
-# (BENCH_BASE→BENCH_HEAD) and the exact backend's subset-enumeration
+# in ns/op. Three pairs are gated: the batched Monte-Carlo kernel
+# (BENCH_BASE→BENCH_HEAD), the exact backend's subset-enumeration
 # benchmarks (BENCH_BASE2→BENCH_HEAD2, the pre-exact snapshot holds only
-# the BenchmarkExact* series). Override the pairs, or skip the gate
-# entirely with BENCH_CHECK=0 (escape hatch for machines whose snapshots
-# were recorded elsewhere); re-baseline with
-# `make bench-json LABEL=<new-label>`.
+# the BenchmarkExact* series), and the HTTP serving layer
+# (BENCH_BASE3→BENCH_HEAD3 in BENCH_serve.json, recorded with
+# `make bench-serve-json LABEL=...`). Override the pairs, or skip the
+# gate entirely with BENCH_CHECK=0 (escape hatch for machines whose
+# snapshots were recorded elsewhere); re-baseline with
+# `make bench-json LABEL=<new-label>` / `make bench-serve-json LABEL=...`.
 BENCH_BASE ?= pre-batch-baseline
 BENCH_HEAD ?= post-batch
 BENCH_BASE2 ?= pre-exact
 BENCH_HEAD2 ?= post-exact
+BENCH_BASE3 ?= serve-baseline
+BENCH_HEAD3 ?= serve-head
 BENCH_CHECK ?= 1
 
-.PHONY: build test race vet bench bench-json bench-check ci
+.PHONY: build test race vet bench bench-json bench-serve-json bench-check ci
 
 build:
 	$(GO) build ./...
@@ -38,7 +42,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/sim/... ./internal/obs/... ./internal/engine/... ./internal/nonoblivious/... ./internal/oblivious/...
+	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/sim/... ./internal/obs/... ./internal/engine/... ./internal/serve/... ./internal/nonoblivious/... ./internal/oblivious/...
 
 vet:
 	$(GO) vet ./...
@@ -49,12 +53,16 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) $(PKG) | $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_sim.json
 
+bench-serve-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./internal/serve/ | $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_serve.json
+
 bench-check:
 ifeq ($(BENCH_CHECK),0)
 	@echo "bench-check: skipped (BENCH_CHECK=0)"
 else
 	$(GO) run ./cmd/benchjson -check $(BENCH_BASE),$(BENCH_HEAD)
 	$(GO) run ./cmd/benchjson -check $(BENCH_BASE2),$(BENCH_HEAD2)
+	$(GO) run ./cmd/benchjson -out BENCH_serve.json -check $(BENCH_BASE3),$(BENCH_HEAD3)
 endif
 
 ci: build vet test race bench-check

@@ -11,8 +11,15 @@
 //	nocomm certify  -n 3 -delta 1
 //	nocomm figure   F1 [-points 201] [-backend auto] [-svg f1.svg] [-csv f1.csv]
 //	nocomm table    T2 [-trials 200000] [-backend auto] [-csv t2.csv]
+//	nocomm serve    [-addr 127.0.0.1:8080] [-deadline 10s] [-pprof]
 //	nocomm metrics  run.jsonl
 //	nocomm list
+//
+// serve exposes the engine as a JSON HTTP API (POST /v1/eval, /v1/sweep,
+// /v1/table) with live Prometheus metrics on GET /metrics, liveness and
+// readiness probes, and optional pprof profilers; combined with -obs it
+// writes one span tree per request (handler → engine → backend) to the
+// run log, replayable via `nocomm metrics`.
 //
 // eval, figure and table route through the unified evaluation engine
 // (internal/engine): -backend selects exact closed forms, Monte-Carlo
@@ -60,7 +67,7 @@ import (
 
 // subcommandList names every subcommand; keep the usage error, the help
 // output, and the dispatch switch in sync.
-const subcommandList = "eval, optimize, simulate, certify, figure, table, metrics, list"
+const subcommandList = "eval, optimize, simulate, certify, figure, table, serve, metrics, list"
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -91,6 +98,8 @@ func run(args []string) error {
 		return cmdFigure(g, rest[1:])
 	case "table":
 		return cmdTable(g, rest[1:])
+	case "serve":
+		return cmdServe(g, rest[1:])
 	case "certify":
 		return cmdCertify(g, rest[1:])
 	case "metrics":

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// cmdServe runs the evaluation HTTP service (internal/serve): a JSON API
+// over the engine with live Prometheus metrics, per-request trace trees
+// in the -obs run log, and deadline-bounded graceful degradation.
+func cmdServe(g *obsFlags, args []string) (err error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(os.Stdout)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: nocomm serve [flags]")
+		fmt.Fprintln(fs.Output(), "")
+		fmt.Fprintln(fs.Output(), "Serve the evaluation engine over HTTP:")
+		fmt.Fprintln(fs.Output(), "")
+		fmt.Fprintln(fs.Output(), "  POST /v1/eval       evaluate one rule on one instance")
+		fmt.Fprintln(fs.Output(), "  POST /v1/sweep      evaluate a rule family on a parameter grid")
+		fmt.Fprintln(fs.Output(), "  POST /v1/table      render a harness table experiment")
+		fmt.Fprintln(fs.Output(), "  GET  /metrics       live Prometheus metrics")
+		fmt.Fprintln(fs.Output(), "  GET  /healthz       liveness probe")
+		fmt.Fprintln(fs.Output(), "  GET  /readyz        readiness probe (warmup canary)")
+		fmt.Fprintln(fs.Output(), "  GET  /debug/pprof/  runtime profilers (with -pprof)")
+		fmt.Fprintln(fs.Output(), "")
+		fmt.Fprintln(fs.Output(), "flags:")
+		fs.PrintDefaults()
+	}
+	g.register(fs)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	trials := fs.Int("trials", engine.DefaultTrials, "default Monte-Carlo trials per request")
+	degradedTrials := fs.Int("degraded-trials", serve.DefaultDegradedTrials, "Monte-Carlo trials of the exact-deadline fallback")
+	deadline := fs.Duration("deadline", serve.DefaultDeadline, "per-request evaluation budget (requests may shorten, never extend)")
+	maxN := fs.Int("max-n", serve.DefaultMaxN, "largest accepted player count")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	sess, err := g.start()
+	if err != nil {
+		return err
+	}
+	defer sess.finish(&err)
+
+	// The server always gets a live metrics registry — /metrics must work
+	// even without -obs/-metrics — extended with the JSONL sink when the
+	// session opened one.
+	o := sess.observer
+	if o == nil {
+		o = obs.New(obs.NewRegistry(), nil)
+	}
+	stopCollector := obs.StartRuntimeCollector(o, 10*time.Second)
+	defer stopCollector()
+
+	srv := serve.New(serve.Config{
+		Obs:            o,
+		Engine:         engine.New(engine.Config{Obs: o}),
+		Trials:         *trials,
+		DegradedTrials: *degradedTrials,
+		Deadline:       *deadline,
+		MaxN:           *maxN,
+		EnablePprof:    *pprofOn,
+	})
+	return serveHTTP(*addr, srv.Handler())
+}
+
+// serveHTTP listens on addr and serves h until SIGINT/SIGTERM, then
+// drains in-flight requests for up to 5 seconds.
+func serveHTTP(addr string, h http.Handler) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Printf("nocomm serve: listening on http://%s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("nocomm serve: shut down")
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// TestServeHelpGolden pins `nocomm serve -h` byte-for-byte: the endpoint
+// catalog and flag defaults are part of the operator contract.
+func TestServeHelpGolden(t *testing.T) {
+	got := captureStdout(t, func() error { return run([]string{"serve", "-h"}) })
+	path := filepath.Join("testdata", "serve_help.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestServeBadFlags checks flag errors surface as errors, not as help.
+func TestServeBadFlags(t *testing.T) {
+	if err := run([]string{"serve", "-definitely-not-a-flag"}); err == nil {
+		t.Fatal("expected error for unknown flag")
+	}
+	if err := run([]string{"serve", "-addr"}); err == nil {
+		t.Fatal("expected error for missing flag value")
+	}
+}

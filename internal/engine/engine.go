@@ -24,10 +24,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/problem"
@@ -139,9 +141,13 @@ type Engine struct {
 
 // entry is one cache slot. The sync.Once gives singleflight semantics:
 // concurrent identical evaluations share one computation, and every later
-// caller observes the same bits.
+// caller observes the same bits. done flips after the computation
+// finishes, distinguishing a warm cache hit from a coalesced join onto an
+// in-flight computation (the engine.cache.coalesced counter) and letting
+// deadline-aware callers skip the watchdog goroutine on warm entries.
 type entry struct {
 	once sync.Once
+	done atomic.Bool
 	res  Result
 	err  error
 }
@@ -181,7 +187,14 @@ func (e *Engine) CacheLen() int {
 // Evaluate evaluates the rule on the instance with the engine's default
 // Monte-Carlo configuration.
 func (e *Engine) Evaluate(inst Instance, r Rule, backend Backend) (Result, error) {
-	return e.EvaluateWith(inst, r, backend, e.simCfg)
+	return e.EvaluateWithCtx(context.Background(), inst, r, backend, e.simCfg)
+}
+
+// EvaluateCtx is Evaluate with a caller context: the evaluation's spans
+// parent onto any obs span riding ctx, and a cancellable ctx bounds the
+// wait (see EvaluateWithCtx).
+func (e *Engine) EvaluateCtx(ctx context.Context, inst Instance, r Rule, backend Backend) (Result, error) {
+	return e.EvaluateWithCtx(ctx, inst, r, backend, e.simCfg)
 }
 
 // EvaluateWith evaluates the rule on the instance, using simCfg when the
@@ -197,10 +210,36 @@ func (e *Engine) Evaluate(inst Instance, r Rule, backend Backend) (Result, error
 // cache hit skips the simulation and therefore re-emits no convergence
 // events.
 func (e *Engine) EvaluateWith(inst Instance, r Rule, backend Backend, simCfg sim.Config) (Result, error) {
+	return e.EvaluateWithCtx(context.Background(), inst, r, backend, simCfg)
+}
+
+// EvaluateWithCtx is EvaluateWith with a caller context, the seam the
+// serving layer runs on. Two context features are honored:
+//
+//   - Span parenting: when ctx carries an obs span (obs.ContextWithSpan),
+//     the evaluation opens an engine.evaluate child span, and an uncached
+//     computation opens a backend.exact / backend.mc child under that —
+//     the handler → engine → backend trace tree. Without a span in ctx
+//     the evaluation emits no spans, keeping the library path identical
+//     to the pre-context behavior.
+//   - Deadline/cancellation: a cancellable ctx bounds the *wait*, not the
+//     work. If ctx expires while the result is being computed, the call
+//     returns ctx.Err() immediately, the computation keeps running in the
+//     background, and its result still lands in the cache — so an
+//     abandoned exact evaluation warms the cache for the next request.
+//     The abandonment is recorded in the engine.evals.abandoned counter
+//     and a deadline_exceeded span attribute.
+//
+// The cache key is unchanged by ctx: contexts never alter the returned
+// bits, only how long the caller is willing to wait for them.
+func (e *Engine) EvaluateWithCtx(ctx context.Context, inst Instance, r Rule, backend Backend, simCfg sim.Config) (Result, error) {
 	if r == nil {
 		return Result{}, fmt.Errorf("engine: nil rule")
 	}
 	if err := inst.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	resolved, err := e.resolve(r, backend)
@@ -224,13 +263,44 @@ func (e *Engine) EvaluateWith(inst Instance, r Rule, backend Backend, simCfg sim
 		e.entries[key] = ent
 	}
 	e.mu.Unlock()
+	joined := ok && !ent.done.Load()
+
+	var sp *obs.Span
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		sp = parent.Child("engine.evaluate")
+		sp.SetField("rule", r.Name())
+		sp.SetField("backend", resolved.String())
+		ctx = obs.ContextWithSpan(ctx, sp)
+		defer sp.End()
+	}
 
 	computed := false
-	ent.once.Do(func() {
-		computed = true
-		e.obs.Counter("engine.cache.misses").Inc()
-		ent.res, ent.err = e.compute(inst, r, resolved, simCfg)
-	})
+	work := func() {
+		ent.once.Do(func() {
+			computed = true
+			e.obs.Counter("engine.cache.misses").Inc()
+			ent.res, ent.err = e.compute(ctx, inst, r, resolved, simCfg)
+			ent.done.Store(true)
+		})
+	}
+	if ctx.Done() == nil || ent.done.Load() {
+		// No deadline to watch (or the entry is already warm, so once.Do
+		// returns without blocking): run inline, no goroutine overhead.
+		work()
+	} else {
+		finished := make(chan struct{})
+		go func() {
+			work()
+			close(finished)
+		}()
+		select {
+		case <-finished:
+		case <-ctx.Done():
+			sp.SetAttr("deadline_exceeded", 1)
+			e.obs.Counter("engine.evals.abandoned").Inc()
+			return Result{}, ctx.Err()
+		}
+	}
 	if ent.err != nil {
 		return Result{}, ent.err
 	}
@@ -240,8 +310,12 @@ func (e *Engine) EvaluateWith(inst Instance, r Rule, backend Backend, simCfg sim
 		res.Sim = &cp
 	}
 	if !computed {
+		if joined {
+			e.obs.Counter("engine.cache.coalesced").Inc()
+		}
 		e.obs.Counter("engine.cache.hits").Inc()
 		res.Cached = true
+		sp.SetAttr("cached", 1)
 	}
 	return res, nil
 }
@@ -267,8 +341,15 @@ func (e *Engine) resolve(r Rule, backend Backend) (Backend, error) {
 	}
 }
 
-// compute runs one uncached evaluation on the resolved backend.
-func (e *Engine) compute(inst Instance, r Rule, backend Backend, simCfg sim.Config) (Result, error) {
+// compute runs one uncached evaluation on the resolved backend. When ctx
+// carries an obs span (the engine.evaluate span of the caller that won the
+// singleflight race) the computation runs under a backend.exact /
+// backend.mc child span.
+func (e *Engine) compute(ctx context.Context, inst Instance, r Rule, backend Backend, simCfg sim.Config) (Result, error) {
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		sp := parent.Child("backend." + backend.String())
+		defer sp.End()
+	}
 	switch backend {
 	case Exact:
 		e.obs.Counter("engine.evals.exact").Inc()

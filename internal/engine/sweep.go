@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,15 @@ type SweepOptions struct {
 // earlier one — is served from cache. On failure the error of the
 // lowest-indexed failing point is returned, independent of scheduling.
 func (e *Engine) Sweep(points []Point, opts SweepOptions) ([]Result, error) {
+	return e.SweepCtx(context.Background(), points, opts)
+}
+
+// SweepCtx is Sweep with a caller context: every point evaluates through
+// EvaluateWithCtx, so spans parent onto any obs span riding ctx and a
+// cancelled or expired ctx stops workers from claiming further points
+// (points already in flight finish in the background and land in the
+// cache). On cancellation the context's error is returned.
+func (e *Engine) SweepCtx(ctx context.Context, points []Point, opts SweepOptions) ([]Result, error) {
 	if len(points) == 0 {
 		return nil, nil
 	}
@@ -56,15 +66,21 @@ func (e *Engine) Sweep(points []Point, opts SweepOptions) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= len(points) {
 					return
 				}
-				results[i], errs[i] = e.EvaluateWith(points[i].Instance, points[i].Rule, opts.Backend, opts.Sim)
+				results[i], errs[i] = e.EvaluateWithCtx(ctx, points[i].Instance, points[i].Rule, opts.Backend, opts.Sim)
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("engine: sweep point %d: %w", i, err)

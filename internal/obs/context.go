@@ -1,0 +1,46 @@
+package obs
+
+import "context"
+
+// Span-context propagation: a *Span rides a context.Context so layered
+// code (HTTP handler → engine → backend) can parent its spans without
+// threading span arguments through every signature. A context without a
+// span — or a nil span — degrades to the usual nil-safe no-ops, so
+// instrumented code never branches on observability being enabled.
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying the span. A nil span returns
+// ctx unchanged, so disabled observers propagate nothing.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpanCtx opens a span as a child of the span carried by ctx (or as
+// a root span when ctx carries none) and returns it together with a
+// derived context carrying the new span. A nil observer returns a nil
+// span and ctx unchanged.
+func (o *Observer) StartSpanCtx(ctx context.Context, name string) (*Span, context.Context) {
+	if o == nil {
+		return nil, ctx
+	}
+	var s *Span
+	if parent := SpanFromContext(ctx); parent != nil {
+		s = parent.Child(name)
+	} else {
+		s = o.StartSpan(name)
+	}
+	return s, ContextWithSpan(ctx, s)
+}

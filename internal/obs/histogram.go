@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 )
 
@@ -12,10 +13,11 @@ import (
 // Over — but is safe for concurrent Observe calls. A nil *Histogram is a
 // no-op.
 type Histogram struct {
-	lo, hi float64
-	counts []atomic.Int64
-	under  atomic.Int64
-	over   atomic.Int64
+	lo, hi  float64
+	counts  []atomic.Int64
+	under   atomic.Int64
+	over    atomic.Int64
+	sumBits atomic.Uint64
 }
 
 // NewHistogram builds a histogram with the given number of buckets. It
@@ -30,11 +32,24 @@ func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
 	return &Histogram{lo: lo, hi: hi, counts: make([]atomic.Int64, buckets)}, nil
 }
 
+// addSum folds x into the running sum of observed values (the Prometheus
+// histogram's `_sum` series) with a CAS loop, keeping Observe lock-free.
+func (h *Histogram) addSum(x float64) {
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Observe records one observation.
 func (h *Histogram) Observe(x float64) {
 	if h == nil {
 		return
 	}
+	h.addSum(x)
 	switch {
 	case x < h.lo:
 		h.under.Add(1)
@@ -60,6 +75,9 @@ type HistogramStats struct {
 	Counts []int64 `json:"counts"`
 	Under  int64   `json:"under,omitempty"`
 	Over   int64   `json:"over,omitempty"`
+	// Sum is the sum of every observed value (including out-of-range
+	// observations), the Prometheus `_sum` series.
+	Sum float64 `json:"sum,omitempty"`
 }
 
 // Stats returns a snapshot of the histogram's counts.
@@ -73,6 +91,7 @@ func (h *Histogram) Stats() HistogramStats {
 	}
 	s.Under = h.under.Load()
 	s.Over = h.over.Load()
+	s.Sum = math.Float64frombits(h.sumBits.Load())
 	return s
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -105,6 +106,10 @@ type Span struct {
 	id     int64
 	parent int64
 	start  time.Time
+
+	mu     sync.Mutex
+	attrs  map[string]float64
+	fields map[string]string
 }
 
 // StartSpan opens a root span.
@@ -141,22 +146,75 @@ func (s *Span) Child(name string) *Span {
 	return s.obs.startSpan(name, s.id)
 }
 
+// SetAttr annotates the span with a numeric attribute, emitted alongside
+// the duration in the span_end event (e.g. cached=1, degraded=1). Safe for
+// concurrent use; a nil span drops the annotation.
+func (s *Span) SetAttr(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]float64)
+	}
+	s.attrs[key] = v
+}
+
+// SetField annotates the span with a string field, emitted in the
+// span_end event (e.g. the request id or resolved backend). Safe for
+// concurrent use; a nil span drops the annotation.
+func (s *Span) SetField(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fields == nil {
+		s.fields = make(map[string]string)
+	}
+	s.fields[key] = value
+}
+
+// ID returns the span's id (0 for nil), so out-of-band events (access
+// logs) can reference the span they belong to.
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
 // End closes the span, emitting a span_end event (with the duration in
-// seconds) and feeding the span.<name> timer. End is idempotent only in
-// the trivial sense that calling it on a nil span does nothing; do not end
-// a span twice.
+// seconds plus any SetAttr/SetField annotations) and feeding the
+// span.<name> timer. End is idempotent only in the trivial sense that
+// calling it on a nil span does nothing; do not end a span twice.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	d := time.Since(s.start)
 	s.obs.Timer("span." + s.name).Observe(d)
+	s.mu.Lock()
+	attrs := map[string]float64{"seconds": d.Seconds()}
+	for k, v := range s.attrs {
+		attrs[k] = v
+	}
+	var fields map[string]string
+	if len(s.fields) > 0 {
+		fields = make(map[string]string, len(s.fields))
+		for k, v := range s.fields {
+			fields[k] = v
+		}
+	}
+	s.mu.Unlock()
 	s.obs.Events.Emit(Event{
 		Type:   EventSpanEnd,
 		Name:   s.name,
 		Span:   s.id,
 		Parent: s.parent,
-		Attrs:  map[string]float64{"seconds": d.Seconds()},
+		Attrs:  attrs,
+		Fields: fields,
 	})
 }
 

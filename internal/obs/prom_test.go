@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// promFixture builds a registry with one metric of every kind, fully
+// deterministic, covering the exposition's edge cases: registered and
+// fallback HELP texts, a histogram with under/over-range observations,
+// and a timer summary.
+func promFixture(t *testing.T) Snapshot {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("http.requests.total").Add(42)
+	reg.Counter("engine.cache.hits").Add(7)
+	reg.SetHelp("http.requests.total", "Total HTTP requests served.")
+	reg.Gauge("http.inflight").Set(3)
+	reg.Gauge("runtime.goroutines").Set(12)
+	reg.SetHelp("runtime.goroutines", "Current goroutine count.")
+	reg.Timer("span.http.eval").Observe(250 * time.Millisecond)
+	reg.Timer("span.http.eval").Observe(750 * time.Millisecond)
+	h, err := reg.Histogram("http.latency.eval", 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetHelp("http.latency.eval", "Latency of /v1/eval in seconds.")
+	h.Observe(0.6)
+	h.Observe(0.6)
+	h.Observe(0.1)
+	h.Observe(-0.25) // under: folds into the first bucket
+	h.Observe(2.5)   // over: only in +Inf
+	return reg.Snapshot()
+}
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte: HELP/TYPE
+// lines per family, cumulative buckets, histogram _sum/_count, timer
+// summaries. Any format drift must re-capture the golden deliberately
+// (go test ./internal/obs -run Golden -update-golden).
+func TestWritePrometheusGolden(t *testing.T) {
+	snap := promFixture(t)
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("prometheus exposition differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestHistogramSum checks the `_sum` accumulator, including out-of-range
+// observations (Prometheus sums every observation, bucketed or not).
+func TestHistogramSum(t *testing.T) {
+	h, err := NewHistogram(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.25, 0.75, -1, 3} {
+		h.Observe(x)
+	}
+	if got, want := h.Stats().Sum, 3.0; got != want {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+}

@@ -130,6 +130,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	timers     map[string]*Timer
 	histograms map[string]*Histogram
+	help       map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -139,7 +140,20 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		timers:     make(map[string]*Timer),
 		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
 	}
+}
+
+// SetHelp records the metric's `# HELP` text for the Prometheus
+// exposition. Metrics without registered help fall back to their dotted
+// source name, so exposition is always well-formed.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -234,6 +248,10 @@ type Snapshot struct {
 	Gauges     map[string]float64        `json:"gauges,omitempty"`
 	Timers     map[string]TimerStats     `json:"timers,omitempty"`
 	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+	// Help carries the registered `# HELP` texts (SetHelp) for the
+	// Prometheus exposition; metrics without an entry fall back to their
+	// dotted source name.
+	Help map[string]string `json:"help,omitempty"`
 }
 
 // Snapshot copies the registry's current state. A nil registry yields an
@@ -261,6 +279,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.Stats()
+	}
+	if len(r.help) > 0 {
+		s.Help = make(map[string]string, len(r.help))
+		for name, help := range r.help {
+			s.Help[name] = help
+		}
 	}
 	return s
 }
@@ -300,31 +324,57 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
+// promHelp escapes a `# HELP` text per the exposition format (backslash
+// and newline are the only escaped runes).
+func promHelp(text string) string {
+	text = strings.ReplaceAll(text, `\`, `\\`)
+	return strings.ReplaceAll(text, "\n", `\n`)
+}
+
+// helpFor resolves a metric's HELP text: the registered text when
+// present, the dotted source name otherwise (never empty, so every
+// family carries a well-formed HELP line).
+func (s Snapshot) helpFor(name string) string {
+	if h, ok := s.Help[name]; ok && h != "" {
+		return promHelp(h)
+	}
+	return promHelp(name)
+}
+
 // WritePrometheus writes the snapshot in the Prometheus text exposition
-// format, sanitizing dotted names (sim.trials → sim_trials).
+// format, sanitizing dotted names (sim.trials → sim_trials). Every metric
+// family gets `# HELP` and `# TYPE` lines (help text via Registry.SetHelp,
+// falling back to the dotted name); timers export as summaries with
+// `_seconds_count`/`_seconds_sum`, and histograms export cumulative
+// `_bucket{le="..."}` series (out-of-range lows fold into the first
+// bucket, highs into `+Inf`) plus `_sum` and `_count`.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(s.Counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(name), promName(name), s.Counters[name]); err != nil {
+		p := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			p, s.helpFor(name), p, p, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", promName(name), promName(name), s.Gauges[name]); err != nil {
+		p := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
+			p, s.helpFor(name), p, p, s.Gauges[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Timers) {
 		t := s.Timers[name]
 		p := promName(name) + "_seconds"
-		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n%s_count %d\n%s_sum %g\n",
-			p, p, t.Count, p, t.TotalSeconds); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n%s_count %d\n%s_sum %g\n",
+			p, s.helpFor(name), p, p, t.Count, p, t.TotalSeconds); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		p := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", p, s.helpFor(name), p); err != nil {
 			return err
 		}
 		width := (h.Hi - h.Lo) / float64(len(h.Counts))
@@ -335,7 +385,9 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_count %d\n", p, cum+h.Over, p, cum+h.Over); err != nil {
+		total := cum + h.Over
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			p, total, p, h.Sum, p, total); err != nil {
 			return err
 		}
 	}

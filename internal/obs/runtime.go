@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// CollectRuntime samples the Go runtime into the observer's gauges:
+// goroutine count, heap sizes and object count, cumulative GC runs and
+// pause time, and the GC CPU fraction. It is a one-shot sample — a
+// /metrics handler calls it right before snapshotting so scrapes always
+// see fresh values; StartRuntimeCollector wraps it in a background
+// ticker. A nil observer is a no-op.
+func CollectRuntime(o *Observer) {
+	if o == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	o.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	o.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	o.Gauge("runtime.heap_sys_bytes").Set(float64(ms.HeapSys))
+	o.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
+	o.Gauge("runtime.stack_sys_bytes").Set(float64(ms.StackSys))
+	o.Gauge("runtime.gc_runs_total").Set(float64(ms.NumGC))
+	o.Gauge("runtime.gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	o.Gauge("runtime.gc_cpu_fraction").Set(ms.GCCPUFraction)
+	o.Gauge("runtime.next_gc_bytes").Set(float64(ms.NextGC))
+}
+
+// StartRuntimeCollector samples CollectRuntime every interval until the
+// returned stop function is called (stop blocks until the collector
+// goroutine has exited, so tests and shutdown paths can rely on no
+// further gauge writes). A non-positive interval defaults to 10s; a nil
+// observer returns a no-op stop.
+func StartRuntimeCollector(o *Observer, interval time.Duration) (stop func()) {
+	if o == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	CollectRuntime(o)
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				CollectRuntime(o)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}

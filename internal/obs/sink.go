@@ -20,6 +20,7 @@ const (
 	EventMetric     = "metric"
 	EventError      = "error"
 	EventSnapshot   = "snapshot"
+	EventAccess     = "access"
 )
 
 // Event is one structured record in a run log.
@@ -36,6 +37,9 @@ type Event struct {
 	Parent int64 `json:"parent,omitempty"`
 	// Attrs carries numeric payload fields (duration, estimates, ...).
 	Attrs map[string]float64 `json:"attrs,omitempty"`
+	// Fields carries string payload fields (request ids, methods, paths
+	// on access events; span annotations on span_end events).
+	Fields map[string]string `json:"fields,omitempty"`
 	// Msg carries free text (error events).
 	Msg string `json:"msg,omitempty"`
 	// Metrics carries a full registry snapshot for snapshot events.

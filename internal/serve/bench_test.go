@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// benchServer runs a real HTTP server (httptest) over a fully
+// instrumented serve stack, so the benchmarks price the whole request
+// path: TCP, routing, middleware, JSON, engine, metrics.
+func benchServer(b *testing.B) (*httptest.Server, *http.Client) {
+	b.Helper()
+	o := obs.New(obs.NewRegistry(), nil)
+	s := New(Config{Obs: o, Engine: engine.New(engine.Config{Obs: o})})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return ts, ts.Client()
+}
+
+func benchPost(b *testing.B, c *http.Client, url, body string) {
+	b.Helper()
+	resp, err := c.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkEvalWarm serves the same exact evaluation repeatedly: after
+// the first request every response is a cache hit, so this prices the
+// HTTP + middleware + JSON overhead per request.
+func BenchmarkEvalWarm(b *testing.B) {
+	ts, c := benchServer(b)
+	url := ts.URL + "/v1/eval"
+	body := `{"n":3,"delta":1,"kind":"threshold","param":0.6220355269907728,"backend":"exact"}`
+	benchPost(b, c, url, body)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, c, url, body)
+	}
+}
+
+// BenchmarkEvalCold serves a distinct exact evaluation every iteration:
+// every request is a cache miss, pricing the full request + exact
+// backend path (n=3 keeps the enumeration cheap enough to benchmark).
+func BenchmarkEvalCold(b *testing.B) {
+	ts, c := benchServer(b)
+	url := ts.URL + "/v1/eval"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"n":3,"delta":1,"kind":"threshold","param":%.9f,"backend":"exact"}`, 0.1+0.8*float64(i%100000)/100000+1e-9*float64(i))
+		benchPost(b, c, url, body)
+	}
+}
+
+// BenchmarkHealthz prices the instrumented no-work path: middleware,
+// request ids, counters, histogram, access event bookkeeping.
+func BenchmarkHealthz(b *testing.B) {
+	ts, c := benchServer(b)
+	url := ts.URL + "/healthz"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkMetrics prices a Prometheus scrape of a populated registry.
+func BenchmarkMetrics(b *testing.B) {
+	ts, c := benchServer(b)
+	benchPost(b, c, ts.URL+"/v1/eval", `{"n":3,"delta":1,"kind":"threshold","param":0.5,"backend":"exact"}`)
+	url := ts.URL + "/metrics"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

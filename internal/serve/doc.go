@@ -1,0 +1,25 @@
+// Package serve is the long-running evaluation service over the unified
+// engine: a stdlib net/http JSON API exposing Evaluate (/v1/eval), Sweep
+// (/v1/sweep) and the harness tables (/v1/table), with observability as a
+// first-class layer rather than an afterthought.
+//
+// Every request gets a request id (X-Request-Id) and a request-scoped
+// span tree — http.<endpoint> → engine.evaluate → backend.exact|mc —
+// emitted to the observer's JSONL sink together with one structured
+// access event per request, so a run log replayed through `nocomm
+// metrics` reconstructs exactly what the server did and how long each
+// layer took. GET /metrics serves the live registry in the Prometheus
+// text exposition format (per-endpoint latency histograms, status-class
+// counters, in-flight gauge, engine cache hit/miss/coalesce counters,
+// and Go runtime gauges sampled at scrape time); /debug/pprof mounts the
+// runtime profilers behind Config.EnablePprof.
+//
+// Requests carry trial and deadline budgets. When an exact evaluation
+// misses its deadline the server degrades gracefully: the exact
+// computation keeps running in the background (warming the engine's
+// memoization cache for the next request) while the response is answered
+// by a bounded Monte-Carlo estimate with its standard error — and the
+// degradation decision itself is observable (serve.degraded counter,
+// degraded span attribute, degraded field in the response body), so
+// operators can watch precision being traded for latency.
+package serve

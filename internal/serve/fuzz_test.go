@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// fuzzServer is shared across fuzz iterations: the decoder hardening
+// under test is per-request, and a shared server exercises it against a
+// warm process exactly as production would.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzHandler() http.Handler {
+	fuzzOnce.Do(func() {
+		// Tiny budgets keep accidental well-formed inputs cheap; the
+		// registry makes the http.panics counter real, so the post-request
+		// panic check below actually bites.
+		o := obs.New(obs.NewRegistry(), nil)
+		fuzzSrv = New(Config{Obs: o, Trials: 100, DegradedTrials: 100, MaxN: 8, MaxTrials: 1000, MaxBodyBytes: 4096})
+	})
+	return fuzzSrv.Handler()
+}
+
+// FuzzEvalDecode hammers the /v1/eval decoder with arbitrary bodies. The
+// invariant: the handler never panics, never hangs, and every non-2xx
+// response carries the stable JSON error shape. Seeds cover the
+// documented hostile classes — malformed JSON, unknown fields, NaN/Inf
+// spellings, oversized π vectors, absurd numbers, trailing garbage.
+func FuzzEvalDecode(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"n":3,"delta":1,"kind":"threshold","param":0.5}`,
+		`{"n":3,"delta":1,"kind":"threshold","param":0.5,"backend":"exact"}`,
+		`{"n":3,`,
+		`{"n":"three","delta":1}`,
+		`{"n":3,"delta":1,"kind":"threshold","param":NaN}`,
+		`{"n":3,"delta":1,"kind":"threshold","param":1e309}`,
+		`{"n":3,"delta":-1e308,"kind":"threshold","param":0.5}`,
+		`{"n":-1,"delta":1,"kind":"threshold","param":0.5}`,
+		`{"n":999999999,"delta":1,"kind":"threshold","param":0.5}`,
+		`{"n":3,"delta":1,"kind":"threshold","param":0.5,"trials":-5}`,
+		`{"n":3,"delta":1,"kind":"threshold","param":0.5,"deadline_ms":-1}`,
+		`{"n":3,"delta":1,"kind":"threshold","param":0.5,"unknown":true}`,
+		`{"pi":[0.5,0.5,0.5],"delta":1,"kind":"oblivious","param":0.5}`,
+		`{"pi":[` + strings.Repeat("1,", 500) + `1],"delta":1,"kind":"threshold","param":0.5}`,
+		`{"n":3,"delta":1,"kind":"threshold","param":0.5}{"n":4}`,
+		`{"n":3,"delta":1,"kind":"threshold","param":0.5}garbage`,
+		"\x00\x01\x02",
+		`{"n":3,"delta":1,"kind":"","param":0.5}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		h := fuzzHandler()
+		req := httptest.NewRequest(http.MethodPost, "/v1/eval", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			var eb errorBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+				t.Fatalf("non-2xx body is not the stable error shape: %v (%d %q)", err, rec.Code, rec.Body.String())
+			}
+			if eb.Error.Code == "" || eb.Error.Message == "" {
+				t.Fatalf("error body missing code/message: %q", rec.Body.String())
+			}
+		}
+		// The middleware converts handler panics into 500s; any panic on
+		// this path is a decoder bug the fuzzer must surface.
+		if got := fuzzSrv.obs.Counter("http.panics").Value(); got != 0 {
+			t.Fatalf("handler panicked on body %q", body)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// statusWriter captures the status code and body size a handler writes,
+// for the status-class counters and the access event.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps an endpoint handler with the server's observability:
+//
+//   - a request id, minted per request and echoed in X-Request-Id;
+//   - a root span http.<endpoint> carrying the request id, propagated
+//     through the request context so engine and backend spans parent
+//     onto it (the handler → engine → backend trace tree);
+//   - the http.requests.total counter, the per-endpoint request counter,
+//     per-endpoint status-class counters (2xx/4xx/5xx), the
+//     http.latency.<endpoint> histogram, and the http.inflight gauge;
+//   - one structured access event per request;
+//   - panic recovery: a handler panic becomes a 500 with the stable
+//     error shape plus an http.panics counter and an error event, never
+//     a dead connection.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := s.nextRequestID()
+		w.Header().Set("X-Request-Id", reqID)
+		sw := &statusWriter{ResponseWriter: w}
+
+		s.obs.Gauge("http.inflight").Set(float64(s.inflight.Add(1)))
+		start := time.Now()
+		sp, ctx := s.obs.StartSpanCtx(r.Context(), "http."+endpoint)
+		sp.SetField("request_id", reqID)
+
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.obs.Counter("http.panics").Inc()
+				s.obs.EmitError("http."+endpoint, &panicError{val: rec, stack: debug.Stack()})
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, "internal", "internal server error")
+				}
+			}
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			elapsed := time.Since(start)
+			sp.SetAttr("status", float64(sw.status))
+			sp.End()
+			s.obs.Gauge("http.inflight").Set(float64(s.inflight.Add(-1)))
+			s.obs.Counter("http.requests.total").Inc()
+			s.obs.Counter("http.requests." + endpoint).Inc()
+			s.obs.Counter("http.requests." + endpoint + "." + statusClass(sw.status)).Inc()
+			s.obs.Histogram("http.latency."+endpoint, 0, 2.5, 50).Observe(elapsed.Seconds())
+			s.obs.Emit(obs.Event{
+				Type: obs.EventAccess,
+				Name: "http.access",
+				Span: sp.ID(),
+				Fields: map[string]string{
+					"id":       reqID,
+					"method":   r.Method,
+					"path":     r.URL.Path,
+					"endpoint": endpoint,
+				},
+				Attrs: map[string]float64{
+					"status":  float64(sw.status),
+					"seconds": elapsed.Seconds(),
+					"bytes":   float64(sw.bytes),
+				},
+			})
+		}()
+
+		h(sw, r.WithContext(ctx))
+	})
+}
+
+// statusClass buckets a status code into 2xx/3xx/4xx/5xx.
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// panicError carries a recovered panic value into the error event log.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return "panic: " + stringify(e.val) + "\n" + string(e.stack)
+}
+
+func stringify(v any) string {
+	if err, ok := v.(error); ok {
+		return err.Error()
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return "non-string panic value"
+}

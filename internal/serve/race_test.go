@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEvalRace hammers /v1/eval from 8 goroutines with a mix of
+// identical bodies (driving the engine's singleflight coalescing) and
+// distinct ones (driving concurrent cache inserts). Run under -race in
+// `make ci`; the assertions also pin the coalescing accounting: every
+// response for the shared body after the first must agree bit-for-bit.
+func TestEvalRace(t *testing.T) {
+	s, o, _ := newTestServer(t, Config{})
+	h := s.Handler()
+
+	const goroutines = 8
+	const perG = 6
+	shared := `{"n":4,"delta":1.5,"kind":"threshold","param":0.55,"backend":"mc","trials":20000,"seed":3}`
+
+	results := make([][]EvalResponse, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				body := shared
+				if i%3 == 2 {
+					// Every third request is distinct: concurrent misses
+					// exercise the cache-insert path alongside the joins.
+					body = fmt.Sprintf(`{"n":3,"delta":1,"kind":"threshold","param":0.%d%d,"backend":"exact"}`, g+1, i+1)
+				}
+				req := httptest.NewRequest(http.MethodPost, "/v1/eval", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("goroutine %d request %d: status %d body %s", g, i, rec.Code, rec.Body.String())
+					return
+				}
+				var resp EvalResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					t.Error(err)
+					return
+				}
+				if body == shared {
+					results[g] = append(results[g], resp)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	var first *EvalResponse
+	for g := range results {
+		for i := range results[g] {
+			r := &results[g][i]
+			if first == nil {
+				first = r
+				continue
+			}
+			if r.P != first.P || r.StdErr != first.StdErr {
+				t.Fatalf("shared-body responses disagree: %+v vs %+v", *r, *first)
+			}
+		}
+	}
+	hits := o.Counter("engine.cache.hits").Value()
+	misses := o.Counter("engine.cache.misses").Value()
+	if misses == 0 || hits == 0 {
+		t.Errorf("cache counters implausible after race: hits=%d misses=%d", hits, misses)
+	}
+}
