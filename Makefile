@@ -16,21 +16,28 @@ LABEL ?= dev
 
 # Benchmark-regression gate: `make bench-check` compares labeled snapshot
 # pairs already recorded in BENCH_sim.json and fails on >10% regressions
-# in ns/op. Three pairs are gated: the batched Monte-Carlo kernel
+# in ns/op. Five pairs are gated: the batched Monte-Carlo kernel
 # (BENCH_BASE→BENCH_HEAD), the exact backend's subset-enumeration
 # benchmarks (BENCH_BASE2→BENCH_HEAD2, the pre-exact snapshot holds only
-# the BenchmarkExact* series), and the HTTP serving layer
+# the BenchmarkExact* series), the HTTP serving layer
 # (BENCH_BASE3→BENCH_HEAD3 in BENCH_serve.json, recorded with
-# `make bench-serve-json LABEL=...`). Override the pairs, or skip the
-# gate entirely with BENCH_CHECK=0 (escape hatch for machines whose
-# snapshots were recorded elsewhere); re-baseline with
-# `make bench-json LABEL=<new-label>` / `make bench-serve-json LABEL=...`.
+# `make bench-serve-json LABEL=...`), the engine-native optimizer
+# (BENCH_BASE4→BENCH_HEAD4, snapshots hold only the BenchmarkOptimize*
+# series), and the /v1/optimize endpoint (BENCH_BASE5→BENCH_HEAD5 in
+# BENCH_serve.json). Override the pairs, or skip the gate entirely with
+# BENCH_CHECK=0 (escape hatch for machines whose snapshots were recorded
+# elsewhere); re-baseline with `make bench-json LABEL=<new-label>` /
+# `make bench-serve-json LABEL=...`.
 BENCH_BASE ?= pre-batch-baseline
 BENCH_HEAD ?= post-batch
 BENCH_BASE2 ?= pre-exact
 BENCH_HEAD2 ?= post-exact
 BENCH_BASE3 ?= serve-baseline
 BENCH_HEAD3 ?= serve-head
+BENCH_BASE4 ?= optimize-baseline
+BENCH_HEAD4 ?= optimize-head
+BENCH_BASE5 ?= serve-optimize-baseline
+BENCH_HEAD5 ?= serve-optimize-head
 BENCH_CHECK ?= 1
 
 .PHONY: build test race vet bench bench-json bench-serve-json bench-check ci
@@ -42,7 +49,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/sim/... ./internal/obs/... ./internal/engine/... ./internal/serve/... ./internal/nonoblivious/... ./internal/oblivious/...
+	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/sim/... ./internal/obs/... ./internal/engine/... ./internal/optimize/... ./internal/serve/... ./internal/nonoblivious/... ./internal/oblivious/...
 
 vet:
 	$(GO) vet ./...
@@ -63,6 +70,8 @@ else
 	$(GO) run ./cmd/benchjson -check $(BENCH_BASE),$(BENCH_HEAD)
 	$(GO) run ./cmd/benchjson -check $(BENCH_BASE2),$(BENCH_HEAD2)
 	$(GO) run ./cmd/benchjson -out BENCH_serve.json -check $(BENCH_BASE3),$(BENCH_HEAD3)
+	$(GO) run ./cmd/benchjson -check $(BENCH_BASE4),$(BENCH_HEAD4)
+	$(GO) run ./cmd/benchjson -out BENCH_serve.json -check $(BENCH_BASE5),$(BENCH_HEAD5)
 endif
 
 ci: build vet test race bench-check

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	nocomm eval     -n 3 -delta 1 -kind threshold -param 0.622 [-backend exact|mc|auto]
-//	nocomm optimize -n 3 -delta 1 -kind threshold
+//	nocomm optimize -n 3 -delta 1 -kind threshold|oblivious|vector [-pi 0.5,1,1]
 //	nocomm simulate -n 3 -delta 1 -kind oblivious -param 0.5 -trials 1000000
 //	nocomm certify  -n 3 -delta 1
 //	nocomm figure   F1 [-points 201] [-backend auto] [-svg f1.svg] [-csv f1.csv]
@@ -15,8 +15,8 @@
 //	nocomm metrics  run.jsonl
 //	nocomm list
 //
-// serve exposes the engine as a JSON HTTP API (POST /v1/eval, /v1/sweep,
-// /v1/table) with live Prometheus metrics on GET /metrics, liveness and
+// serve exposes the engine as a JSON HTTP API (POST /v1/eval, /v1/optimize,
+// /v1/sweep, /v1/table) with live Prometheus metrics on GET /metrics, liveness and
 // readiness probes, and optional pprof profilers; combined with -obs it
 // writes one span tree per request (handler → engine → backend) to the
 // run log, replayable via `nocomm metrics`.
@@ -47,11 +47,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
+	"math/big"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -60,7 +64,6 @@ import (
 	"repro/internal/nonoblivious"
 	"repro/internal/oblivious"
 	"repro/internal/obs"
-	"repro/internal/optimize"
 	"repro/internal/problem"
 	"repro/internal/sim"
 )
@@ -329,13 +332,35 @@ func cmdEval(g *obsFlags, args []string) (err error) {
 	return nil
 }
 
+// cmdOptimize derives optima. Homogeneous threshold/oblivious instances
+// keep the certified symbolic path (Sturm isolation / Theorem 4.3) with
+// the engine-native numeric cross-check under -obs/-metrics; every other
+// combination — heterogeneous instances, the full a-vector family — is
+// searched numerically through engine.OptimizeCtx, sharing the memoization
+// cache and span taxonomy with the HTTP service.
 func cmdOptimize(g *obsFlags, args []string) (err error) {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	g.register(fs)
 	n, delta := instanceFlags(fs)
-	kind := fs.String("kind", "threshold", "algorithm kind: threshold or oblivious")
+	piStr := piFlag(fs)
+	kind := fs.String("kind", "threshold", "algorithm kind: threshold, oblivious or vector")
+	backend := fs.String("backend", "exact", "evaluation backend: exact, mc or auto")
+	trials := fs.Int("trials", engine.DefaultTrials, "Monte-Carlo trials (mc backend)")
+	seed := fs.Uint64("seed", 1, "random seed (mc backend)")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
+	grid := fs.Int("grid", engine.DefaultOptimizeGrid, "scalar search grid resolution")
+	tol := fs.Float64("tol", engine.DefaultOptimizeTol, "search tolerance")
+	passes := fs.Int("passes", 0, "vector coordinate-ascent pass cap (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	b, err := engine.ParseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	fam, err := engine.FamilyForKind(*kind)
+	if err != nil {
+		return fmt.Errorf("unknown kind %q (want threshold, oblivious or vector)", *kind)
 	}
 	sess, err := g.start()
 	if err != nil {
@@ -343,19 +368,27 @@ func cmdOptimize(g *obsFlags, args []string) (err error) {
 	}
 	defer sess.finish(&err)
 	o := sess.observer
-	inst, err := core.NewInstance(*n, *delta)
+	inst, err := resolveInstance(fs, *n, *delta, *piStr)
 	if err != nil {
 		return err
 	}
+	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers, Obs: o}
+	eng := engine.New(engine.Config{Sim: cfg, Obs: o, ExactWorkers: *workers})
+	opts := engine.OptimizeOptions{Backend: b, Sim: cfg, GridPoints: *grid, Tol: *tol, Passes: *passes}
 	sp := o.StartSpan("optimize")
 	defer sp.End()
-	switch *kind {
-	case "threshold":
+	ctx := context.Background()
+	if sp != nil {
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
+
+	// Homogeneous scalar kinds keep the certified symbolic output.
+	if !inst.Heterogeneous() && *kind == "threshold" {
 		res, err := inst.OptimalThreshold()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("n=%d δ=%g optimal symmetric threshold:\n", *n, *delta)
+		fmt.Printf("n=%d δ=%g optimal symmetric threshold:\n", inst.N, inst.Delta)
 		fmt.Printf("  β* = %.12f\n  P* = %.12f\n", res.BetaFloat, res.WinProbabilityFloat)
 		if !res.Condition.IsZero() {
 			fmt.Printf("  optimality condition: %s = 0\n", res.Condition)
@@ -369,22 +402,19 @@ func cmdOptimize(g *obsFlags, args []string) (err error) {
 			fmt.Printf("    [%s, %s]: %s\n", iv.Lo.RatString(), iv.Hi.RatString(), piece)
 		}
 		if o.Enabled() {
-			// Numeric cross-check of the symbolic optimum, recorded in
-			// the run log (iterations, bracket widths, evaluations).
-			num, err := optimize.GridThenGoldenMaxObserved(o, func(beta float64) float64 {
-				p, err := inst.SymmetricThresholdWinProbability(beta)
-				if err != nil {
-					return 0
-				}
-				return p
-			}, 0, 1, 101, 1e-10)
+			// Numeric cross-check of the symbolic optimum, searched
+			// through the engine (memo cache, optimize.* counters, the
+			// engine.optimize span tree in the run log).
+			num, err := eng.OptimizeCtx(ctx, inst.EngineInstance(), fam, opts)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("  numeric cross-check: β ≈ %.9f, P ≈ %.9f (%d evals, %d iterations)\n",
-				num.X, num.Value, num.Evals, num.Iterations)
+				num.Params[0], num.Value, num.Evals, num.Iterations)
 		}
-	case "oblivious":
+		return nil
+	}
+	if !inst.Heterogeneous() && *kind == "oblivious" {
 		res, err := inst.OptimalOblivious()
 		if err != nil {
 			return err
@@ -394,27 +424,102 @@ func cmdOptimize(g *obsFlags, args []string) (err error) {
 			return err
 		}
 		fmt.Printf("n=%d δ=%g optimal oblivious (Theorem 4.3, symmetric): α* = 1/2, P* = %.9f\n",
-			*n, *delta, res.WinProbability)
+			inst.N, inst.Delta, res.WinProbability)
 		fmt.Printf("  deterministic vertex optimum: %d players to bin 1, P = %.9f\n",
 			det.Bin1Count, det.WinProbability)
 		if o.Enabled() {
-			num, err := optimize.GridThenGoldenMaxObserved(o, func(a float64) float64 {
-				p, err := inst.SymmetricObliviousWinProbability(a)
-				if err != nil {
-					return 0
-				}
-				return p
-			}, 0, 1, 101, 1e-10)
+			num, err := eng.OptimizeCtx(ctx, inst.EngineInstance(), fam, opts)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("  numeric cross-check: a ≈ %.9f, P ≈ %.9f (%d evals, %d iterations)\n",
-				num.X, num.Value, num.Evals, num.Iterations)
+				num.Params[0], num.Value, num.Evals, num.Iterations)
 		}
-	default:
-		return fmt.Errorf("unknown kind %q", *kind)
+		return nil
+	}
+
+	// Engine-native numeric search: the vector family, and scalar kinds on
+	// heterogeneous instances (no symbolic path exists there).
+	res, err := eng.OptimizeCtx(ctx, inst.EngineInstance(), fam, opts)
+	if err != nil {
+		return err
+	}
+	switch *kind {
+	case "vector":
+		fmt.Printf("%s optimal threshold vector (%s backend):\n", describeInstance(inst), res.Backend)
+		fmt.Printf("  a* = (%s)\n", formatVector(res.Params))
+		fmt.Printf("  P* = %.9f\n", res.Value)
+		sym, err := eng.OptimizeCtx(ctx, inst.EngineInstance(), engine.ThresholdBetaFamily{}, opts)
+		if err != nil {
+			return err
+		}
+		departure := 0.0
+		for _, a := range res.Params {
+			departure = math.Max(departure, math.Abs(a-sym.Params[0]))
+		}
+		fmt.Printf("  symmetric best: β* = %.9f, P = %.9f (departure max|a_i−β*| = %.3e)\n",
+			sym.Params[0], sym.Value, departure)
+	case "threshold":
+		fmt.Printf("%s optimal symmetric threshold (%s backend):\n", describeInstance(inst), res.Backend)
+		fmt.Printf("  β* = %.9f\n  P* = %.9f\n", res.Params[0], res.Value)
+	case "oblivious":
+		fmt.Printf("%s optimal symmetric oblivious (%s backend):\n", describeInstance(inst), res.Backend)
+		fmt.Printf("  α* = %.9f\n  P* = %.9f\n", res.Params[0], res.Value)
+	}
+	fmt.Printf("  search: %d evals (%d cached), %d iterations\n", res.Evals, res.CacheHits, res.Iterations)
+	if res.Degraded {
+		fmt.Printf("  degraded: deadline struck mid-search; best point so far\n")
+	}
+	if *kind == "vector" && res.Backend == engine.Exact && inst.N <= nonoblivious.MaxNExact {
+		// A posteriori certification: re-evaluate the float optimum with
+		// the big.Rat oracle and require agreement within the documented
+		// forward-error bound.
+		exact, bound, err := certifyThresholdVector(inst, res.Params)
+		if err != nil {
+			return err
+		}
+		diff := math.Abs(res.Value - exact)
+		fmt.Printf("  certificate: |P* − exact| = %.3e ≤ %.3e (big.Rat oracle)\n", diff, bound)
+		if diff > bound {
+			return fmt.Errorf("certification failed: |%.17g − %.17g| exceeds the error bound %g", res.Value, exact, bound)
+		}
 	}
 	return nil
+}
+
+// formatVector renders a parameter vector at reporting precision.
+func formatVector(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%.9f", v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// certifyThresholdVector evaluates the threshold vector with the exact
+// big.Rat Theorem 5.1 oracle (every float64 converted bit-exactly) and
+// returns the exact value alongside the float path's documented error
+// bound.
+func certifyThresholdVector(inst core.Instance, a []float64) (exact, bound float64, err error) {
+	aRat := make([]*big.Rat, len(a))
+	for i, v := range a {
+		aRat[i] = new(big.Rat).SetFloat64(v)
+	}
+	piMin := 1.0
+	piRat := make([]*big.Rat, inst.N)
+	for i := range piRat {
+		piRat[i] = big.NewRat(1, 1)
+		if inst.Pi != nil {
+			piRat[i] = new(big.Rat).SetFloat64(inst.Pi[i])
+			piMin = math.Min(piMin, inst.Pi[i])
+		}
+	}
+	p, err := nonoblivious.WinningProbabilityPiRat(aRat, piRat, new(big.Rat).SetFloat64(inst.Delta))
+	if err != nil {
+		return 0, 0, err
+	}
+	exact, _ = p.Float64()
+	return exact, nonoblivious.ExactErrorBound(inst.N, inst.Delta, piMin), nil
 }
 
 func cmdSimulate(g *obsFlags, args []string) (err error) {
@@ -536,7 +641,7 @@ func cmdFigure(g *obsFlags, args []string) (err error) {
 
 func cmdTable(g *obsFlags, args []string) (err error) {
 	if len(args) == 0 {
-		return fmt.Errorf("table needs an id (T1..T10, V1) or alias (oblivious, case-n3, tradeoff, hetero, ...)")
+		return fmt.Errorf("table needs an id (T1..T11, V1) or alias (oblivious, case-n3, tradeoff, hetero, ...)")
 	}
 	id := args[0]
 	fs := flag.NewFlagSet("table", flag.ContinueOnError)

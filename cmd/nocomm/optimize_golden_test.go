@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestOptimizeGolden pins `nocomm optimize` output byte-for-byte. The
+// threshold and oblivious goldens were generated BEFORE optimization moved
+// into the engine (the ad-hoc closure era), so they are the rewire's
+// byte-identity contract; the vector golden pins the new engine-native
+// a-vector search, including its departure report and big.Rat certificate.
+func TestOptimizeGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{"threshold", []string{"optimize", "-kind", "threshold"}, "optimize_threshold.golden"},
+		{"oblivious", []string{"optimize", "-kind", "oblivious"}, "optimize_oblivious.golden"},
+		{"threshold n4", []string{"optimize", "-n", "4", "-delta", "1.3333333333333333", "-kind", "threshold"}, "optimize_threshold_n4.golden"},
+		{"vector hetero", []string{"optimize", "-kind", "vector", "-pi", "0.5,1,1"}, "optimize_vector.golden"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", c.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := captureStdout(t, func() error { return run(c.args) })
+			if got != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", c.golden, got, want)
+			}
+		})
+	}
+}
+
+// TestOptimizeErrors exercises the optimize-specific error paths: an
+// unknown kind, and a Monte-Carlo-only backend request on the vector
+// family still works (auto resolves exact for thresholds) while a bogus
+// backend is rejected.
+func TestOptimizeErrors(t *testing.T) {
+	if err := run([]string{"optimize", "-kind", "bogus"}); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Errorf("unknown kind: got %v", err)
+	}
+	if err := run([]string{"optimize", "-backend", "bogus"}); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("unknown backend: got %v", err)
+	}
+}

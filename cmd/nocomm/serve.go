@@ -29,6 +29,7 @@ func cmdServe(g *obsFlags, args []string) (err error) {
 		fmt.Fprintln(fs.Output(), "Serve the evaluation engine over HTTP:")
 		fmt.Fprintln(fs.Output(), "")
 		fmt.Fprintln(fs.Output(), "  POST /v1/eval       evaluate one rule on one instance")
+		fmt.Fprintln(fs.Output(), "  POST /v1/optimize   maximize a rule family (threshold, oblivious or vector)")
 		fmt.Fprintln(fs.Output(), "  POST /v1/sweep      evaluate a rule family on a parameter grid")
 		fmt.Fprintln(fs.Output(), "  POST /v1/table      render a harness table experiment")
 		fmt.Fprintln(fs.Output(), "  GET  /metrics       live Prometheus metrics")

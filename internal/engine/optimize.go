@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/optimize"
+	"repro/internal/sim"
+)
+
+// Default optimization knobs. The scalar defaults reproduce the numeric
+// cross-checks the CLI ran before optimization moved into the engine
+// (101-point grid, 1e-10 bracket), so their outputs stay bit-identical.
+const (
+	// DefaultOptimizeGrid is the scalar grid resolution.
+	DefaultOptimizeGrid = 101
+	// DefaultOptimizeTol is the bracket / simplex-spread tolerance.
+	DefaultOptimizeTol = 1e-10
+	// DefaultOptimizePasses caps the vector coordinate-ascent passes
+	// (ascent stops earlier on the first pass without improvement).
+	DefaultOptimizePasses = 64
+)
+
+// OptimizeOptions configures one optimization run.
+type OptimizeOptions struct {
+	// Backend selects the evaluation backend for every probe.
+	Backend Backend
+	// Sim configures the Monte-Carlo backend (zero Trials selects the
+	// engine default).
+	Sim sim.Config
+	// GridPoints is the scalar path's grid resolution; 0 selects
+	// DefaultOptimizeGrid.
+	GridPoints int
+	// Tol is the convergence tolerance; 0 selects DefaultOptimizeTol.
+	Tol float64
+	// Passes caps the vector path's coordinate-ascent passes; 0 selects
+	// DefaultOptimizePasses.
+	Passes int
+	// Start optionally seeds the vector search; nil starts from the box
+	// midpoint. Ignored by the scalar path (the grid scan brackets the
+	// global maximum on its own).
+	Start []float64
+}
+
+// OptimizeResult is the outcome of one optimization run.
+type OptimizeResult struct {
+	// Family is the optimized family's name.
+	Family string
+	// Params is the best parameter vector found.
+	Params []float64
+	// Rule is the materialized rule at Params.
+	Rule Rule
+	// Value is the winning probability at Params.
+	Value float64
+	// Backend is the backend that evaluated the probes (never Auto).
+	Backend Backend
+	// Evals counts objective evaluations (cache hits included).
+	Evals int
+	// CacheHits counts the evaluations served from the memoization cache.
+	CacheHits int
+	// Iterations counts searcher iterations (bracket shrinks for the
+	// scalar path, ascent passes plus simplex moves for the vector path).
+	Iterations int
+	// Degraded reports that the context expired mid-search and the result
+	// is the best point evaluated before the deadline, not a converged
+	// optimum.
+	Degraded bool
+}
+
+// Optimize maximizes the family's winning probability over its parameter
+// box with Background context; see OptimizeCtx.
+func (e *Engine) Optimize(inst Instance, fam RuleFamily, opts OptimizeOptions) (OptimizeResult, error) {
+	return e.OptimizeCtx(context.Background(), inst, fam, opts)
+}
+
+// OptimizeCtx maximizes the family's winning probability over its parameter
+// box. Every probe routes through EvaluateWithCtx, so repeated points hit
+// the memoization cache, concurrent searches coalesce, and — when ctx
+// carries an obs span — the search emits the
+// engine.optimize → engine.evaluate → backend.* trace tree. Scalar families
+// run grid-then-golden search; higher-dimensional families run coordinate
+// ascent followed by a Nelder-Mead polish, keeping the better optimum.
+//
+// Probe counts land in the optimize.evals / optimize.cache_hits counters.
+// A cancellable ctx bounds the search: once ctx expires, remaining probes
+// fail fast and the call returns the best point already evaluated with
+// Degraded set — the serving layer's best-so-far degraded response — or
+// ctx.Err() when the deadline struck before any probe finished.
+func (e *Engine) OptimizeCtx(ctx context.Context, inst Instance, fam RuleFamily, opts OptimizeOptions) (OptimizeResult, error) {
+	if fam == nil {
+		return OptimizeResult{}, fmt.Errorf("engine: nil rule family")
+	}
+	if err := inst.Validate(); err != nil {
+		return OptimizeResult{}, err
+	}
+	lo, hi, err := fam.Bounds(inst)
+	if err != nil {
+		return OptimizeResult{}, err
+	}
+	if len(lo) == 0 || len(lo) != len(hi) {
+		return OptimizeResult{}, fmt.Errorf("engine: family %s returned an invalid %d/%d-dimensional box", fam.Name(), len(lo), len(hi))
+	}
+	if opts.GridPoints <= 0 {
+		opts.GridPoints = DefaultOptimizeGrid
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = DefaultOptimizeTol
+	}
+	if opts.Passes <= 0 {
+		opts.Passes = DefaultOptimizePasses
+	}
+
+	var sp *obs.Span
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		sp = parent.Child("engine.optimize")
+		sp.SetField("family", fam.Name())
+		sp.SetField("backend", opts.Backend.String())
+		ctx = obs.ContextWithSpan(ctx, sp)
+		defer sp.End()
+	}
+
+	best := OptimizeResult{Family: fam.Name(), Value: math.Inf(-1)}
+	var firstErr error
+	objective := func(params []float64) float64 {
+		r, err := fam.Rule(inst, params)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return math.Inf(-1)
+		}
+		res, err := e.EvaluateWithCtx(ctx, inst, r, opts.Backend, opts.Sim)
+		best.Evals++
+		e.obs.Counter("optimize.evals").Inc()
+		if err != nil {
+			if firstErr == nil && ctx.Err() == nil {
+				firstErr = err
+			}
+			return math.Inf(-1)
+		}
+		if res.Cached {
+			best.CacheHits++
+			e.obs.Counter("optimize.cache_hits").Inc()
+		}
+		if res.P > best.Value {
+			best.Value = res.P
+			best.Params = append(best.Params[:0], params...)
+			best.Rule = r
+			best.Backend = res.Backend
+		}
+		return res.P
+	}
+
+	if len(lo) == 1 {
+		res, serr := optimize.GridThenGoldenMaxObserved(e.obs, func(x float64) float64 {
+			return objective([]float64{x})
+		}, lo[0], hi[0], opts.GridPoints, opts.Tol)
+		if serr != nil {
+			return OptimizeResult{}, serr
+		}
+		best.Iterations = res.Iterations
+	} else {
+		start := opts.Start
+		if start == nil {
+			start = make([]float64, len(lo))
+			for i := range start {
+				start[i] = (lo[i] + hi[i]) / 2
+			}
+		}
+		ca, serr := optimize.CoordinateAscentBoxObserved(e.obs, objective, start, lo, hi, opts.Passes, opts.Tol)
+		if serr != nil {
+			return OptimizeResult{}, serr
+		}
+		best.Iterations = ca.Iterations
+		// Polish with Nelder-Mead from the ascent's optimum: coordinate
+		// ascent can stall on diagonal ridges that simplex moves cross.
+		minWidth := math.Inf(1)
+		for i := range lo {
+			minWidth = math.Min(minWidth, hi[i]-lo[i])
+		}
+		nm, serr := optimize.NelderMeadMaxObserved(e.obs, objective, ca.X, lo, hi, minWidth/8, 200*len(lo), opts.Tol)
+		if serr != nil {
+			return OptimizeResult{}, serr
+		}
+		best.Iterations += nm.Iterations
+	}
+
+	if sp != nil {
+		sp.SetAttr("evals", float64(best.Evals))
+		sp.SetAttr("cache_hits", float64(best.CacheHits))
+	}
+	if math.IsInf(best.Value, -1) {
+		// No probe succeeded: report the deadline if one struck, the first
+		// evaluation error otherwise.
+		if cerr := ctx.Err(); cerr != nil {
+			return OptimizeResult{}, cerr
+		}
+		if firstErr != nil {
+			return OptimizeResult{}, firstErr
+		}
+		return OptimizeResult{}, fmt.Errorf("engine: optimization of %s produced no finite value", fam.Name())
+	}
+	if ctx.Err() != nil {
+		best.Degraded = true
+		sp.SetAttr("degraded", 1)
+	}
+	return best, nil
+}

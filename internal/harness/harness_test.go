@@ -254,7 +254,7 @@ func TestTableValidationAllWithinFiveSigma(t *testing.T) {
 
 func TestRegistryRoundTrip(t *testing.T) {
 	ids := IDs()
-	want := []string{"F1", "F2", "F3", "T1", "T10", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "V1"}
+	want := []string{"F1", "F2", "F3", "T1", "T10", "T11", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "V1"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d entries: %v", len(ids), ids)
 	}

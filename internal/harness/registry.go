@@ -109,6 +109,11 @@ func Registry() map[string]Experiment {
 			Title:    "Heterogeneous input ranges x_i ~ U[0, π_i] (extension)",
 			RunTable: TableHeterogeneous,
 		},
+		"T11": {
+			ID: "T11", Kind: KindTable,
+			Title:    "Departure of the optimal a-vector from the symmetric ray (extension)",
+			RunTable: TableVectorOptimum,
+		},
 		"V1": {
 			ID: "V1", Kind: KindTable,
 			Title:    "Exact formulas vs Monte-Carlo simulation",
@@ -133,6 +138,7 @@ var aliases = map[string]string{
 	"one-bit":              "T8",
 	"non-uniform":          "T9",
 	"hetero":               "T10",
+	"vector-optimum":       "T11",
 	"validation":           "V1",
 }
 

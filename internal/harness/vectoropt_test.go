@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+// TestVectorOptimumRows checks the T11 chart's substance: the
+// homogeneous case study stays on the symmetric ray, at least one
+// heterogeneous instance provably departs it (departure and gain far
+// above the certified numerical error), and every n ≤ MaxNExact row
+// carries a big.Rat certificate within its bound.
+func TestVectorOptimumRows(t *testing.T) {
+	instances, err := vectorOptimumInstances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := VectorOptimumRows(Params{}, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(instances) {
+		t.Fatalf("want %d rows, got %d", len(instances), len(rows))
+	}
+
+	// Row 0 is the homogeneous n=3, δ=1 case study: the optimum must sit
+	// on the symmetric ray at the pinned Section 5.2.1 values.
+	homog := rows[0]
+	if homog.Departure > 1e-3 {
+		t.Errorf("homogeneous instance departs the ray by %v; a* = %v", homog.Departure, homog.A)
+	}
+	if math.Abs(homog.Beta-0.6220355269907728) > 1e-6 {
+		t.Errorf("β* = %v, want the pinned 0.6220355269907728", homog.Beta)
+	}
+	if math.Abs(homog.PVector-0.5446311396758939) > 1e-6 {
+		t.Errorf("P*(a*) = %v, want the pinned 0.5446311396758939", homog.PVector)
+	}
+
+	departures := 0
+	for _, r := range rows {
+		if !r.Certified {
+			t.Errorf("%s: row not certified (n = %d ≤ MaxNExact expected)", r.Instance, r.Instance.N)
+			continue
+		}
+		if r.CertErr > r.CertBound {
+			t.Errorf("%s: certificate error %g exceeds bound %g", r.Instance, r.CertErr, r.CertBound)
+		}
+		if r.Gain < -1e-9 {
+			t.Errorf("%s: vector optimum %v below symmetric optimum %v", r.Instance, r.PVector, r.PSymmetric)
+		}
+		// A departure is provably real only when the gain dwarfs every
+		// numerical error in play: the oracle certificate plus search tol.
+		if r.Departure > 0.01 && r.Gain > 100*r.CertBound && r.Gain > 1e-6 {
+			departures++
+		}
+	}
+	if departures == 0 {
+		t.Error("no instance provably departs the symmetric ray")
+	}
+}
+
+// TestTableVectorOptimum checks T11 renders and is registered.
+func TestTableVectorOptimum(t *testing.T) {
+	tbl, err := TableVectorOptimum(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(tbl.Rows))
+	}
+	if _, err := tbl.Render(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"T11", "vector-optimum"} {
+		exp, err := Lookup(id)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", id, err)
+		}
+		if exp.ID != "T11" || exp.Kind != KindTable {
+			t.Errorf("Lookup(%q) = %+v, want table T11", id, exp)
+		}
+	}
+}

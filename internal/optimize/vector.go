@@ -3,6 +3,8 @@ package optimize
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // VectorResult is the outcome of a multi-dimensional maximization.
@@ -22,6 +24,16 @@ type VectorResult struct {
 // stationary points the optimality conditions describe. It returns an
 // error on invalid bounds, a nil objective, or an out-of-box start.
 func CoordinateAscentBox(f func([]float64) float64, start, lo, hi []float64, passes int, tol float64) (VectorResult, error) {
+	return CoordinateAscentBoxObserved(nil, f, start, lo, hi, passes, tol)
+}
+
+// CoordinateAscentBoxObserved is CoordinateAscentBox with observability: the
+// whole ascent runs under an opt.coordinate_ascent span, passes are counted
+// in opt.coord.passes, each line search runs through
+// GoldenSectionMaxObserved (so its opt.golden.* counters accumulate), and one
+// opt.coordinate_ascent checkpoint event per pass records the live best
+// value. A nil observer makes it identical to CoordinateAscentBox.
+func CoordinateAscentBoxObserved(o *obs.Observer, f func([]float64) float64, start, lo, hi []float64, passes int, tol float64) (VectorResult, error) {
 	n := len(start)
 	if f == nil {
 		return VectorResult{}, fmt.Errorf("optimize: nil objective")
@@ -45,6 +57,8 @@ func CoordinateAscentBox(f func([]float64) float64, start, lo, hi []float64, pas
 			return VectorResult{}, fmt.Errorf("optimize: start[%d] = %v outside [%v, %v]", i, x[i], lo[i], hi[i])
 		}
 	}
+	sp := o.StartSpan("opt.coordinate_ascent")
+	defer sp.End()
 	value := f(x)
 	iterations := 0
 	for pass := 0; pass < passes; pass++ {
@@ -58,7 +72,7 @@ func CoordinateAscentBox(f func([]float64) float64, start, lo, hi []float64, pas
 				x[i] = xi
 				return out
 			}
-			res, err := GoldenSectionMax(line, lo[i], hi[i], tol)
+			res, err := GoldenSectionMaxObserved(o, line, lo[i], hi[i], tol)
 			if err != nil {
 				return VectorResult{}, fmt.Errorf("optimize: line search on coordinate %d: %w", i, err)
 			}
@@ -68,10 +82,21 @@ func CoordinateAscentBox(f func([]float64) float64, start, lo, hi []float64, pas
 				improved = true
 			}
 		}
+		if o.Enabled() {
+			o.Emit(obs.Event{
+				Type: obs.EventCheckpoint,
+				Name: "opt.coordinate_ascent",
+				Attrs: map[string]float64{
+					"pass": float64(iterations),
+					"best": value,
+				},
+			})
+		}
 		if !improved {
 			break
 		}
 	}
+	o.Counter("opt.coord.passes").Add(int64(iterations))
 	return VectorResult{X: x, Value: value, Iterations: iterations}, nil
 }
 
@@ -83,6 +108,14 @@ func CoordinateAscentBox(f func([]float64) float64, start, lo, hi []float64, pas
 // automatically restarts once from its own optimum with a smaller step to
 // escape collapsed simplices. It returns an error on invalid arguments.
 func NelderMeadMax(f func([]float64) float64, start, lo, hi []float64, step float64, maxIter int, tol float64) (VectorResult, error) {
+	return NelderMeadMaxObserved(nil, f, start, lo, hi, step, maxIter, tol)
+}
+
+// NelderMeadMaxObserved is NelderMeadMax with observability: the search
+// (both descents) runs under an opt.nelder_mead span and the total simplex
+// iteration count lands in opt.nm.iterations. A nil observer makes it
+// identical to NelderMeadMax.
+func NelderMeadMaxObserved(o *obs.Observer, f func([]float64) float64, start, lo, hi []float64, step float64, maxIter int, tol float64) (VectorResult, error) {
 	n := len(start)
 	if f == nil {
 		return VectorResult{}, fmt.Errorf("optimize: nil objective")
@@ -93,6 +126,8 @@ func NelderMeadMax(f func([]float64) float64, start, lo, hi []float64, step floa
 	if !(step > 0) || !(tol > 0) || maxIter <= 0 {
 		return VectorResult{}, fmt.Errorf("optimize: invalid step %v, tol %v, or maxIter %d", step, tol, maxIter)
 	}
+	sp := o.StartSpan("opt.nelder_mead")
+	defer sp.End()
 	first, err := nelderMeadOnce(f, start, lo, hi, step, maxIter, tol)
 	if err != nil {
 		return VectorResult{}, err
@@ -102,6 +137,7 @@ func NelderMeadMax(f func([]float64) float64, start, lo, hi []float64, step floa
 		return VectorResult{}, err
 	}
 	second.Iterations += first.Iterations
+	o.Counter("opt.nm.iterations").Add(int64(second.Iterations))
 	if first.Value > second.Value {
 		first.Iterations = second.Iterations
 		return first, nil

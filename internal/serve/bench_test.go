@@ -66,6 +66,21 @@ func BenchmarkEvalCold(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeWarm serves the same scalar optimization repeatedly:
+// after the first request every probe inside the search is an engine
+// cache hit, so this prices the HTTP overhead plus the search driver
+// walking a fully memoized objective.
+func BenchmarkOptimizeWarm(b *testing.B) {
+	ts, c := benchServer(b)
+	url := ts.URL + "/v1/optimize"
+	body := `{"n":3,"delta":1,"kind":"threshold","backend":"exact"}`
+	benchPost(b, c, url, body)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, c, url, body)
+	}
+}
+
 // BenchmarkHealthz prices the instrumented no-work path: middleware,
 // request ids, counters, histogram, access event bookkeeping.
 func BenchmarkHealthz(b *testing.B) {

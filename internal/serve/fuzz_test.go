@@ -64,23 +64,71 @@ func FuzzEvalDecode(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, body string) {
-		h := fuzzHandler()
-		req := httptest.NewRequest(http.MethodPost, "/v1/eval", strings.NewReader(body))
-		rec := httptest.NewRecorder()
-		h.ServeHTTP(rec, req)
-		if rec.Code != http.StatusOK {
-			var eb errorBody
-			if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
-				t.Fatalf("non-2xx body is not the stable error shape: %v (%d %q)", err, rec.Code, rec.Body.String())
-			}
-			if eb.Error.Code == "" || eb.Error.Message == "" {
-				t.Fatalf("error body missing code/message: %q", rec.Body.String())
-			}
+		fuzzPost(t, "/v1/eval", body)
+	})
+}
+
+// fuzzPost posts body to path on the shared fuzz server and asserts the
+// decoder invariants: no panic, and a stable JSON error shape on every
+// non-2xx response.
+func fuzzPost(t *testing.T, path, body string) {
+	t.Helper()
+	h := fuzzHandler()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		var eb errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+			t.Fatalf("non-2xx body is not the stable error shape: %v (%d %q)", err, rec.Code, rec.Body.String())
 		}
-		// The middleware converts handler panics into 500s; any panic on
-		// this path is a decoder bug the fuzzer must surface.
-		if got := fuzzSrv.obs.Counter("http.panics").Value(); got != 0 {
-			t.Fatalf("handler panicked on body %q", body)
+		if eb.Error.Code == "" || eb.Error.Message == "" {
+			t.Fatalf("error body missing code/message: %q", rec.Body.String())
 		}
+	}
+	// The middleware converts handler panics into 500s; any panic on
+	// this path is a decoder bug the fuzzer must surface.
+	if got := fuzzSrv.obs.Counter("http.panics").Value(); got != 0 {
+		t.Fatalf("handler panicked on body %q", body)
+	}
+}
+
+// FuzzOptimizeDecode hammers the /v1/optimize decoder with arbitrary
+// bodies, mirroring FuzzEvalDecode. Seeds add the optimize-specific
+// surface: search knobs (grid_points, passes, tol), the vector kind with
+// hostile π vectors, and deadline abuse.
+func FuzzOptimizeDecode(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`{"n":3,"delta":1,"kind":"threshold"}`,
+		`{"n":3,"delta":1,"kind":"threshold","backend":"exact","grid_points":11,"tol":0.001}`,
+		`{"pi":[0.5,1,1],"delta":1,"kind":"vector","passes":2,"tol":0.01}`,
+		`{"n":3,"delta":1,"kind":"bogus"}`,
+		`{"n":3,"delta":1}`,
+		`{"n":3,"delta":1,"kind":"threshold","grid_points":-1}`,
+		`{"n":3,"delta":1,"kind":"threshold","grid_points":999999999}`,
+		`{"n":3,"delta":1,"kind":"vector","passes":-7}`,
+		`{"n":3,"delta":1,"kind":"threshold","tol":-0.5}`,
+		`{"n":3,"delta":1,"kind":"threshold","tol":1e309}`,
+		`{"n":3,"delta":1,"kind":"threshold","tol":NaN}`,
+		`{"n":-1,"delta":1,"kind":"vector"}`,
+		`{"n":999999999,"delta":1,"kind":"vector"}`,
+		`{"pi":[` + strings.Repeat("1,", 500) + `1],"delta":1,"kind":"vector"}`,
+		`{"pi":[-1,2,1e308],"delta":1,"kind":"vector"}`,
+		`{"n":3,"delta":-1e308,"kind":"oblivious"}`,
+		`{"n":3,"delta":1,"kind":"threshold","deadline_ms":-1}`,
+		`{"n":3,"delta":1,"kind":"threshold","trials":-5}`,
+		`{"n":3,"delta":1,"kind":"threshold","unknown":true}`,
+		`{"n":3,`,
+		`{"n":3,"delta":1,"kind":"threshold"}garbage`,
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		fuzzPost(t, "/v1/optimize", body)
 	})
 }

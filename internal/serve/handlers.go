@@ -199,6 +199,108 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleOptimize serves POST /v1/optimize: maximize a rule family's
+// winning probability on one instance. The search routes through
+// engine.OptimizeCtx, so probes share the server engine's memoization
+// cache and the request span parents the
+// engine.optimize → engine.evaluate → backend.* trace tree. A search that
+// outlives the request deadline degrades to its best-so-far point
+// (degraded=true, the serve.degraded counter, a degraded=1 span
+// attribute), mirroring /v1/eval's degradation contract; a deadline that
+// struck before any probe finished is a 503.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req OptimizeRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	inst, err := instanceFor(req.N, req.Delta, req.Pi, s.cfg.MaxN)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Kind == "" {
+		writeErr(w, badRequest("kind is required (threshold, oblivious or vector)"))
+		return
+	}
+	fam, err := engine.FamilyForKind(req.Kind)
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	backend, err := parseBackend(req.Backend)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	simCfg, err := s.simConfigFor(req.Trials, req.Seed, req.Workers)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	deadline, err := s.deadlineFor(req.DeadlineMS)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.GridPoints < 0 || req.GridPoints > s.cfg.MaxPoints {
+		writeErr(w, badRequest("grid_points = %d outside [0, %d]", req.GridPoints, s.cfg.MaxPoints))
+		return
+	}
+	if req.Passes < 0 || req.Passes > s.cfg.MaxPoints {
+		writeErr(w, badRequest("passes = %d outside [0, %d]", req.Passes, s.cfg.MaxPoints))
+		return
+	}
+	if err := finite("tol", req.Tol); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Tol < 0 {
+		writeErr(w, badRequest("tol must be non-negative"))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	res, err := s.eng.OptimizeCtx(ctx, inst, fam, engine.OptimizeOptions{
+		Backend:    backend,
+		Sim:        simCfg,
+		GridPoints: req.GridPoints,
+		Tol:        req.Tol,
+		Passes:     req.Passes,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if res.Degraded {
+		s.obs.Counter("serve.degraded").Inc()
+		if sp := obs.SpanFromContext(r.Context()); sp != nil {
+			sp.SetAttr("degraded", 1)
+		}
+	}
+	resp := OptimizeResponse{
+		N:          inst.N,
+		Delta:      inst.Delta,
+		Pi:         req.Pi,
+		Kind:       req.Kind,
+		Params:     res.Params,
+		P:          res.Value,
+		Backend:    res.Backend.String(),
+		Evals:      res.Evals,
+		CacheHits:  res.CacheHits,
+		Iterations: res.Iterations,
+		Degraded:   res.Degraded,
+	}
+	if len(res.Params) == 1 {
+		resp.Param = res.Params[0]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleSweep serves POST /v1/sweep: one rule family on a parameter grid.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {

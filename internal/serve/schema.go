@@ -92,6 +92,59 @@ type SweepResponse struct {
 	Points []SweepPoint `json:"points"`
 }
 
+// OptimizeRequest is the /v1/optimize body: maximize a rule family's
+// winning probability on one instance through engine.OptimizeCtx.
+type OptimizeRequest struct {
+	// N is the player count; 0 derives it from the π vector.
+	N int `json:"n,omitempty"`
+	// Delta is the bin capacity δ (required, > 0).
+	Delta float64 `json:"delta"`
+	// Pi optionally sets per-player input ranges (x_i ~ U[0, π_i]).
+	Pi []float64 `json:"pi,omitempty"`
+	// Kind is the rule family: "threshold" (symmetric β), "oblivious"
+	// (symmetric α) or "vector" (the full per-player threshold vector).
+	Kind string `json:"kind"`
+	// Backend is "exact", "mc" or "auto" (default "auto").
+	Backend string `json:"backend,omitempty"`
+	// Trials overrides the Monte-Carlo trial count (mc backend).
+	Trials int `json:"trials,omitempty"`
+	// Seed seeds the Monte-Carlo streams; 0 selects the default seed 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers is the parallel worker count (0 = all cores).
+	Workers int `json:"workers,omitempty"`
+	// GridPoints overrides the scalar grid resolution (default 101),
+	// capped at the server's MaxPoints.
+	GridPoints int `json:"grid_points,omitempty"`
+	// Tol overrides the convergence tolerance (default 1e-10).
+	Tol float64 `json:"tol,omitempty"`
+	// Passes caps the vector path's coordinate-ascent passes (default 64),
+	// capped at the server's MaxPoints.
+	Passes int `json:"passes,omitempty"`
+	// DeadlineMS bounds the whole search; an expired budget answers with
+	// the best point evaluated so far (degraded=true), or 503 when the
+	// deadline struck before any probe finished.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// OptimizeResponse is the /v1/optimize reply.
+type OptimizeResponse struct {
+	N     int       `json:"n"`
+	Delta float64   `json:"delta"`
+	Pi    []float64 `json:"pi,omitempty"`
+	Kind  string    `json:"kind"`
+	// Params is the best parameter vector found (length 1 for the scalar
+	// kinds, n for "vector").
+	Params []float64 `json:"params"`
+	// Param mirrors Params[0] for the scalar kinds.
+	Param      float64 `json:"param,omitempty"`
+	P          float64 `json:"p"`
+	Backend    string  `json:"backend"`
+	Evals      int     `json:"evals"`
+	CacheHits  int     `json:"cache_hits"`
+	Iterations int     `json:"iterations"`
+	Degraded   bool    `json:"degraded,omitempty"`
+}
+
 // TableRequest is the /v1/table body: one harness table experiment by id
 // or mnemonic alias (T1..T10, V1, "oblivious", "hetero", ...).
 type TableRequest struct {

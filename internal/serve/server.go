@@ -134,6 +134,7 @@ func (s *Server) Ready() bool { return s.ready.Load() }
 // the request metrics they report.
 func (s *Server) routes() {
 	s.mux.Handle("/v1/eval", s.instrument("eval", s.handleEval))
+	s.mux.Handle("/v1/optimize", s.instrument("optimize", s.handleOptimize))
 	s.mux.Handle("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.Handle("/v1/table", s.instrument("table", s.handleTable))
 	s.mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
@@ -178,7 +179,9 @@ func (s *Server) registerHelp() {
 	reg.SetHelp("engine.cache.misses", "Engine evaluations computed (cache misses).")
 	reg.SetHelp("engine.cache.coalesced", "Engine evaluations that joined an identical in-flight computation.")
 	reg.SetHelp("engine.evals.abandoned", "Engine evaluations whose caller gave up at a deadline while the computation continued in the background.")
-	for _, ep := range []string{"eval", "sweep", "table", "healthz", "readyz"} {
+	reg.SetHelp("optimize.evals", "Objective evaluations performed by engine optimization runs.")
+	reg.SetHelp("optimize.cache_hits", "Optimization probes served from the engine's memoization cache.")
+	for _, ep := range []string{"eval", "optimize", "sweep", "table", "healthz", "readyz"} {
 		reg.SetHelp("http.requests."+ep, "HTTP requests on /"+ep+".")
 		reg.SetHelp("http.latency."+ep, "HTTP request latency on /"+ep+" in seconds.")
 		for _, class := range []string{"2xx", "4xx", "5xx"} {
