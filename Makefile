@@ -38,9 +38,20 @@ BENCH_BASE4 ?= optimize-baseline
 BENCH_HEAD4 ?= optimize-head
 BENCH_BASE5 ?= serve-optimize-baseline
 BENCH_HEAD5 ?= serve-optimize-head
+# PR-8 lane-kernel pair: regression-gated as a whole, with the rewritten
+# batch kernel additionally required to be ≥1.5x faster than the scalar
+# baseline. Re-record the head with `make bench-kernel-json`.
+BENCH_BASE6 ?= kernel-baseline
+BENCH_HEAD6 ?= kernel-head
+# QMC variance-reduction pair: the same trials-to-±1e-4 benchmarks
+# recorded under the plain-MC sampler (qmc-baseline) and the QMC sampler
+# (qmc-head); the gate requires ≥4x fewer effective ns per unit of
+# precision. Re-record both with `make bench-qmc-json`.
+BENCH_BASE7 ?= qmc-baseline
+BENCH_HEAD7 ?= qmc-head
 BENCH_CHECK ?= 1
 
-.PHONY: build test race vet bench bench-json bench-serve-json bench-check ci
+.PHONY: build test race vet bench bench-json bench-serve-json bench-kernel-json bench-qmc-json bench-check ci
 
 build:
 	$(GO) build ./...
@@ -49,7 +60,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/sim/... ./internal/obs/... ./internal/engine/... ./internal/optimize/... ./internal/serve/... ./internal/nonoblivious/... ./internal/oblivious/...
+	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/qrand/... ./internal/sim/... ./internal/obs/... ./internal/engine/... ./internal/optimize/... ./internal/serve/... ./internal/nonoblivious/... ./internal/oblivious/...
 
 vet:
 	$(GO) vet ./...
@@ -63,6 +74,18 @@ bench-json:
 bench-serve-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./internal/serve/ | $(GO) run ./cmd/benchjson -label $(LABEL) -out BENCH_serve.json
 
+# Re-record the lane-kernel head snapshot (the baseline was captured from
+# the scalar kernel and is deliberately left untouched).
+bench-kernel-json:
+	$(GO) test -run '^$$' -bench '^(BenchmarkBatchKernel(QMC)?|BenchmarkSimulation|BenchmarkWinProbabilityBaseline)$$' -benchmem -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -label $(BENCH_HEAD6) -out BENCH_sim.json
+
+# Record both sides of the variance-reduction pair: the trials-to-±1e-4
+# ladder under the pseudo-random sampler, then under the QMC sampler.
+# 1x benchtime: one ladder per sub-benchmark is the measurement.
+bench-qmc-json:
+	NOCOMM_PRECISION_SAMPLER=mc $(GO) test -run '^$$' -bench BenchmarkTrialsToPrecision -benchtime 1x ./internal/sim/ | $(GO) run ./cmd/benchjson -label $(BENCH_BASE7) -out BENCH_sim.json
+	$(GO) test -run '^$$' -bench BenchmarkTrialsToPrecision -benchtime 1x ./internal/sim/ | $(GO) run ./cmd/benchjson -label $(BENCH_HEAD7) -out BENCH_sim.json
+
 bench-check:
 ifeq ($(BENCH_CHECK),0)
 	@echo "bench-check: skipped (BENCH_CHECK=0)"
@@ -72,6 +95,9 @@ else
 	$(GO) run ./cmd/benchjson -out BENCH_serve.json -check $(BENCH_BASE3),$(BENCH_HEAD3)
 	$(GO) run ./cmd/benchjson -check $(BENCH_BASE4),$(BENCH_HEAD4)
 	$(GO) run ./cmd/benchjson -out BENCH_serve.json -check $(BENCH_BASE5),$(BENCH_HEAD5)
+	$(GO) run ./cmd/benchjson -check $(BENCH_BASE6),$(BENCH_HEAD6)
+	$(GO) run ./cmd/benchjson -check $(BENCH_BASE6),$(BENCH_HEAD6) -match '^BenchmarkBatchKernel$$' -improve 1.5
+	$(GO) run ./cmd/benchjson -check $(BENCH_BASE7),$(BENCH_HEAD7) -improve 4
 endif
 
 ci: build vet test race bench-check

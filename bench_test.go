@@ -21,6 +21,7 @@ import (
 	"repro/internal/nonoblivious"
 	"repro/internal/oblivious"
 	"repro/internal/obs"
+	"repro/internal/qrand"
 	"repro/internal/response"
 	"repro/internal/sim"
 )
@@ -429,7 +430,8 @@ func (nb noBatchRule) Decide(x float64, rng *rand.Rand) (model.Bin, error) {
 	return nb.r.Decide(x, rng)
 }
 
-// BenchmarkBatchKernel times model.BatchKernel.Play alone — the
+// BenchmarkBatchKernel times the batch kernel's fast pseudo-random entry
+// (PlaySrc over the worker PCG, the path sim.WinProbability runs) — the
 // allocation-free inner loop of the Monte-Carlo engine — in trials/op.
 func BenchmarkBatchKernel(b *testing.B) {
 	sys := obsBenchSystem(b)
@@ -439,13 +441,36 @@ func BenchmarkBatchKernel(b *testing.B) {
 	}
 	sc := model.GetBatchScratch()
 	defer sc.Release()
-	rng := rand.New(rand.NewPCG(1, 2))
+	src := rand.NewPCG(1, 2)
 	const batch = 256
-	k.Play(sc, rng, batch) // warm the scratch buffers
+	k.PlaySrc(sc, src, batch) // warm the scratch buffers
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i += batch {
-		k.Play(sc, rng, batch)
+		k.PlaySrc(sc, src, batch)
+	}
+}
+
+// BenchmarkBatchKernelQMC times the quasi-Monte-Carlo entry on the same
+// system: Sobol lane fills instead of PCG draws, in trials/op.
+func BenchmarkBatchKernelQMC(b *testing.B) {
+	sys := obsBenchSystem(b)
+	k, ok := model.NewBatchKernel(sys)
+	if !ok {
+		b.Fatal("threshold system should be batchable")
+	}
+	seq, err := qrand.New(k.Dims(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := model.GetBatchScratch()
+	defer sc.Release()
+	const batch = 256
+	k.PlayQMC(sc, seq, 0, batch) // warm the scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		k.PlayQMC(sc, seq, uint64(i), batch)
 	}
 }
 

@@ -15,6 +15,10 @@
 // With -check OLD,NEW the command instead compares two stored snapshots
 // and exits non-zero when a benchmark in NEW is more than -tolerance
 // slower (ns/op) than in OLD, or allocates more — the regression gate.
+// Two extra knobs turn the gate into an improvement gate: -match RE
+// restricts the comparison to benchmarks whose name matches the regexp,
+// and -improve R requires every compared benchmark in NEW to be at least
+// R× faster than OLD (NEW ns/op ≤ OLD/R) instead of merely not slower.
 package main
 
 import (
@@ -169,20 +173,34 @@ func find(f File, label string) (Snapshot, error) {
 
 // check compares NEW against OLD benchmark-by-benchmark and returns the
 // human-readable regressions: ns/op growth beyond tol (a ratio; 0.10 is
-// +10%) or any allocs/op growth. Benchmarks present in only one snapshot
-// are skipped — the gate only judges comparable pairs.
-func check(old, new Snapshot, tol float64) []string {
+// +10%) or any allocs/op growth. A non-nil match restricts the comparison
+// to benchmarks whose name matches; improve > 0 additionally requires
+// every compared benchmark to be at least improve× faster in NEW
+// (NEW ns/op ≤ OLD/improve) — the perf-PR gate, where "no slower" is not
+// good enough. Benchmarks present in only one snapshot are skipped — the
+// gate only judges comparable pairs.
+func check(old, new Snapshot, tol, improve float64, match *regexp.Regexp) []string {
 	byKey := make(map[string]Benchmark, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
 		byKey[fmt.Sprintf("%s-%d", b.Name, b.Procs)] = b
 	}
 	var bad []string
+	compared := 0
 	for _, nb := range new.Benchmarks {
+		if match != nil && !match.MatchString(nb.Name) {
+			continue
+		}
 		ob, ok := byKey[fmt.Sprintf("%s-%d", nb.Name, nb.Procs)]
 		if !ok {
 			continue
 		}
-		if ob.NsPerOp > 0 && nb.NsPerOp > ob.NsPerOp*(1+tol) {
+		compared++
+		if improve > 0 {
+			if ob.NsPerOp > 0 && nb.NsPerOp > ob.NsPerOp/improve {
+				bad = append(bad, fmt.Sprintf("%s: %.2f ns/op -> %.2f ns/op (%.2fx, required ≥%.2fx faster)",
+					nb.Name, ob.NsPerOp, nb.NsPerOp, ob.NsPerOp/nb.NsPerOp, improve))
+			}
+		} else if ob.NsPerOp > 0 && nb.NsPerOp > ob.NsPerOp*(1+tol) {
 			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (+%.1f%%, tolerance %.0f%%)",
 				nb.Name, ob.NsPerOp, nb.NsPerOp, 100*(nb.NsPerOp/ob.NsPerOp-1), 100*tol))
 		}
@@ -190,6 +208,10 @@ func check(old, new Snapshot, tol float64) []string {
 			bad = append(bad, fmt.Sprintf("%s: %d allocs/op -> %d allocs/op",
 				nb.Name, ob.AllocsPerOp, nb.AllocsPerOp))
 		}
+	}
+	if compared == 0 {
+		bad = append(bad, fmt.Sprintf("no comparable benchmarks between %q and %q (match=%v)",
+			old.Label, new.Label, match))
 	}
 	return bad
 }
@@ -201,8 +223,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	label := fs.String("label", "", "snapshot label to record (required unless -check)")
 	checkPair := fs.String("check", "", "compare two stored snapshots: OLD,NEW")
 	tol := fs.Float64("tolerance", 0.10, "allowed ns/op growth ratio for -check")
+	improve := fs.Float64("improve", 0, "require NEW ≥ this ratio faster than OLD for -check (0 = regression gate)")
+	matchRE := fs.String("match", "", "restrict -check to benchmarks whose name matches this regexp")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var match *regexp.Regexp
+	if *matchRE != "" {
+		var err error
+		if match, err = regexp.Compile(*matchRE); err != nil {
+			return fmt.Errorf("benchjson: bad -match regexp: %w", err)
+		}
+	}
+	if *improve < 0 {
+		return fmt.Errorf("benchjson: -improve must be non-negative, got %v", *improve)
 	}
 	f, err := load(*out)
 	if err != nil {
@@ -221,13 +255,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if bad := check(old, new, *tol); len(bad) > 0 {
+		if bad := check(old, new, *tol, *improve, match); len(bad) > 0 {
 			for _, line := range bad {
 				fmt.Fprintln(stderr, "regression:", line)
 			}
 			return fmt.Errorf("benchjson: %d benchmark regression(s) from %q to %q", len(bad), old.Label, new.Label)
 		}
-		fmt.Fprintf(stdout, "benchjson: no regressions from %q to %q\n", old.Label, new.Label)
+		if *improve > 0 {
+			fmt.Fprintf(stdout, "benchjson: all compared benchmarks ≥%gx faster from %q to %q\n", *improve, old.Label, new.Label)
+		} else {
+			fmt.Fprintf(stdout, "benchjson: no regressions from %q to %q\n", old.Label, new.Label)
+		}
 		return nil
 	}
 	if *label == "" {

@@ -91,6 +91,63 @@ func TestRecordMergeAndCheck(t *testing.T) {
 	}
 }
 
+// TestImproveAndMatchGate covers the perf-PR knobs: -improve requires a
+// minimum speedup ratio (not merely "no slower"), and -match restricts
+// the comparison to a benchmark subset.
+func TestImproveAndMatchGate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	var stdout, stderr bytes.Buffer
+	if err := runCmd(t, []string{"-label", "old", "-out", out}, sampleRun, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	// Simulation 2x faster, Quick unchanged.
+	faster := strings.Replace(sampleRun, "8606587 ns/op", "4303293 ns/op", 1)
+	if err := runCmd(t, []string{"-label", "new", "-out", out}, faster, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1.5x required, 2x delivered on the matched subset: pass.
+	if err := runCmd(t, []string{"-out", out, "-check", "old,new", "-improve", "1.5",
+		"-match", "^BenchmarkSimulation$"}, "", &stdout, &stderr); err != nil {
+		t.Errorf("2x speedup failed a 1.5x gate: %v\n%s", err, stderr.String())
+	}
+	// 3x required: fail, naming the benchmark.
+	stderr.Reset()
+	if err := runCmd(t, []string{"-out", out, "-check", "old,new", "-improve", "3",
+		"-match", "^BenchmarkSimulation$"}, "", &stdout, &stderr); err == nil {
+		t.Error("2x speedup passed a 3x gate")
+	} else if !strings.Contains(stderr.String(), "BenchmarkSimulation") {
+		t.Errorf("gate failure output missing benchmark name:\n%s", stderr.String())
+	}
+	// Unmatched -improve over the whole set: Quick is unchanged, fail.
+	if err := runCmd(t, []string{"-out", out, "-check", "old,new", "-improve", "1.5"}, "", &stdout, &stderr); err == nil {
+		t.Error("unchanged benchmark passed a 1.5x improvement gate")
+	}
+	// -match with no survivors must fail loudly, not silently pass.
+	if err := runCmd(t, []string{"-out", out, "-check", "old,new", "-match", "NoSuchBenchmark"}, "", &stdout, &stderr); err == nil {
+		t.Error("empty comparison set passed the gate")
+	}
+	// -match still applies to the plain regression gate.
+	slower := strings.Replace(sampleRun, "1042 ns/op", "9042 ns/op", 1)
+	if err := runCmd(t, []string{"-label", "slow-quick", "-out", out}, slower, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCmd(t, []string{"-out", out, "-check", "old,slow-quick",
+		"-match", "^BenchmarkSimulation$"}, "", &stdout, &stderr); err != nil {
+		t.Errorf("-match failed to exclude the regressed benchmark: %v", err)
+	}
+	if err := runCmd(t, []string{"-out", out, "-check", "old,slow-quick"}, "", &stdout, &stderr); err == nil {
+		t.Error("regression in unmatched run not flagged without -match")
+	}
+	// Bad flags.
+	if err := runCmd(t, []string{"-out", out, "-check", "old,new", "-improve", "-2"}, "", &stdout, &stderr); err == nil {
+		t.Error("negative -improve accepted")
+	}
+	if err := runCmd(t, []string{"-out", out, "-check", "old,new", "-match", "("}, "", &stdout, &stderr); err == nil {
+		t.Error("invalid -match regexp accepted")
+	}
+}
+
 func TestRecordRejectsEmptyInput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "b.json")
 	var stdout, stderr bytes.Buffer

@@ -35,7 +35,8 @@ func run(args []string) (err error) {
 	points := fs.Int("points", 201, "sweep points per figure curve")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
-	backend := fs.String("backend", "auto", "evaluation backend: exact, mc or auto")
+	backend := fs.String("backend", "auto", "evaluation backend: exact, mc, mc-qmc or auto")
+	replicates := fs.Int("replicates", 0, "scrambled randomizations per estimate (mc-qmc backend, 0 = default 16)")
 	piStr := fs.String("pi", "", "comma-separated per-player input ranges π_i for experiments that accept heterogeneous instances (e.g. T10)")
 	obsPath := fs.String("obs", "", "append a JSONL observability run log to this file")
 	metrics := fs.Bool("metrics", false, "print a JSON metrics snapshot on exit")
@@ -74,7 +75,7 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers, Obs: o}
+	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers, Replicates: *replicates, Obs: o}
 	// One shared engine so evaluations repeated across experiments (e.g. the
 	// same (n, δ, rule) point appearing in a figure and a table) are served
 	// from the memoization cache, and so -metrics shows one hit/miss tally.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	nocomm eval     -n 3 -delta 1 -kind threshold -param 0.622 [-backend exact|mc|auto]
+//	nocomm eval     -n 3 -delta 1 -kind threshold -param 0.622 [-backend exact|mc|mc-qmc|auto]
 //	nocomm optimize -n 3 -delta 1 -kind threshold|oblivious|vector [-pi 0.5,1,1]
 //	nocomm simulate -n 3 -delta 1 -kind oblivious -param 0.5 -trials 1000000
 //	nocomm certify  -n 3 -delta 1
@@ -286,10 +286,11 @@ func cmdEval(g *obsFlags, args []string) (err error) {
 	piStr := piFlag(fs)
 	kind := fs.String("kind", "threshold", "algorithm kind: threshold or oblivious")
 	param := fs.Float64("param", 0.5, "common threshold β (threshold) or bin-0 probability a (oblivious)")
-	backend := fs.String("backend", "exact", "evaluation backend: exact, mc or auto")
-	trials := fs.Int("trials", engine.DefaultTrials, "Monte-Carlo trials (mc backend)")
-	seed := fs.Uint64("seed", 1, "random seed (mc backend)")
+	backend := fs.String("backend", "exact", "evaluation backend: exact, mc, mc-qmc or auto")
+	trials := fs.Int("trials", engine.DefaultTrials, "sampled trials (mc / mc-qmc backends)")
+	seed := fs.Uint64("seed", 1, "random seed (mc / mc-qmc backends)")
 	workers := fs.Int("workers", 0, "parallel workers (mc backend, 0 = all cores)")
+	replicates := fs.Int("replicates", 0, "scrambled randomizations (mc-qmc backend, 0 = default 16)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -315,7 +316,7 @@ func cmdEval(g *obsFlags, args []string) (err error) {
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
-	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers, Obs: sess.observer}
+	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers, Replicates: *replicates, Obs: sess.observer}
 	eng := engine.New(engine.Config{Sim: cfg, Obs: sess.observer, ExactWorkers: cfg.Workers})
 	sp := sess.observer.StartSpan("eval")
 	res, err := eng.Evaluate(inst.EngineInstance(), rule, b)
@@ -323,7 +324,10 @@ func cmdEval(g *obsFlags, args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	if res.Backend == engine.MonteCarlo {
+	if res.Backend == engine.MonteCarloQMC {
+		fmt.Printf("%s %s(%g): P(win) = %.9f ± %.6f (mc-qmc, %d trials, %d replicates)\n",
+			describeInstance(inst), *kind, *param, res.P, res.StdErr, res.Sim.Trials, res.Sim.Replicates)
+	} else if res.Backend == engine.MonteCarlo {
 		fmt.Printf("%s %s(%g): P(win) = %.9f ± %.6f (mc, %d trials)\n",
 			describeInstance(inst), *kind, *param, res.P, res.StdErr, res.Sim.Trials)
 	} else {
@@ -576,7 +580,7 @@ func cmdFigure(g *obsFlags, args []string) (err error) {
 	fs := flag.NewFlagSet("figure", flag.ContinueOnError)
 	g.register(fs)
 	points := fs.Int("points", 201, "sweep points per curve")
-	backend := fs.String("backend", "auto", "evaluation backend: exact, mc or auto")
+	backend := fs.String("backend", "auto", "evaluation backend: exact, mc, mc-qmc or auto")
 	trials := fs.Int("trials", engine.DefaultTrials, "Monte-Carlo trials per point (mc backend)")
 	seed := fs.Uint64("seed", 1, "random seed (mc backend)")
 	workers := fs.Int("workers", 0, "sweep workers (0 = all cores)")
@@ -649,7 +653,7 @@ func cmdTable(g *obsFlags, args []string) (err error) {
 	trials := fs.Int("trials", 200_000, "Monte-Carlo trials for simulated columns")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all cores)")
-	backend := fs.String("backend", "auto", "evaluation backend: exact, mc or auto")
+	backend := fs.String("backend", "auto", "evaluation backend: exact, mc, mc-qmc or auto")
 	piStr := fs.String("pi", "", "comma-separated per-player input ranges π_i (experiments that accept heterogeneous instances, e.g. T10)")
 	csvPath := fs.String("csv", "", "write CSV to this path")
 	if err := fs.Parse(args[1:]); err != nil {

@@ -4,13 +4,15 @@
 // communication protocols, and the PY91 baseline), evaluated on any
 // instance through pluggable backends.
 //
-// Three backends are provided:
+// Four backends are provided:
 //
 //   - Exact — the per-class analytic oracle (Theorem 4.1 for oblivious
 //     rules, Theorem 5.1 for thresholds, the grid-convolution oracle for
 //     interval sets, the conditioned interval-pair evaluation for one-bit
 //     protocols, closed form or quadrature for PY91 protocols);
 //   - MonteCarlo — the sim package's deterministic parallel estimator;
+//   - MonteCarloQMC — the randomized quasi-Monte-Carlo estimator
+//     (scrambled Sobol replicates) for local-rule systems;
 //   - Auto — exact when the rule has an exact evaluator, simulation
 //     otherwise.
 //
@@ -59,9 +61,17 @@ const (
 	// allocation-free batch kernel; results are bit-identical to the
 	// per-trial path for a fixed (Seed, Workers) pair either way.
 	MonteCarlo
+	// MonteCarloQMC estimates by randomized quasi-Monte-Carlo
+	// (sim.WinProbabilityQMC): scrambled Sobol replicates instead of
+	// pseudo-random trials, buying far fewer trials per unit of
+	// precision. Only rules whose trial logic is a local-rule system
+	// qualify (protocol rules with their own Simulator are rejected at
+	// resolve time); results depend on (Trials, Seed, Replicates) but
+	// not on Workers.
+	MonteCarloQMC
 )
 
-// String returns "auto", "exact" or "mc".
+// String returns "auto", "exact", "mc" or "mc-qmc".
 func (b Backend) String() string {
 	switch b {
 	case Auto:
@@ -70,13 +80,15 @@ func (b Backend) String() string {
 		return "exact"
 	case MonteCarlo:
 		return "mc"
+	case MonteCarloQMC:
+		return "mc-qmc"
 	default:
 		return fmt.Sprintf("backend(%d)", int(b))
 	}
 }
 
 // ParseBackend parses the CLI spelling of a backend: exact, mc (or
-// montecarlo), auto.
+// montecarlo), mc-qmc (or qmc), auto.
 func ParseBackend(s string) (Backend, error) {
 	switch strings.ToLower(s) {
 	case "auto":
@@ -85,8 +97,10 @@ func ParseBackend(s string) (Backend, error) {
 		return Exact, nil
 	case "mc", "montecarlo", "monte-carlo", "sim":
 		return MonteCarlo, nil
+	case "mc-qmc", "qmc", "mcqmc":
+		return MonteCarloQMC, nil
 	default:
-		return Auto, fmt.Errorf("engine: unknown backend %q (want exact, mc or auto)", s)
+		return Auto, fmt.Errorf("engine: unknown backend %q (want exact, mc, mc-qmc or auto)", s)
 	}
 }
 
@@ -96,8 +110,8 @@ type Result struct {
 	P float64
 	// StdErr is the estimate's standard error (0 for exact backends).
 	StdErr float64
-	// Backend is the backend that actually ran (Exact or MonteCarlo,
-	// never Auto).
+	// Backend is the backend that actually ran (Exact, MonteCarlo or
+	// MonteCarloQMC, never Auto).
 	Backend Backend
 	// Cached reports whether the value was served from the memoization
 	// cache rather than recomputed.
@@ -250,10 +264,17 @@ func (e *Engine) EvaluateWithCtx(ctx context.Context, inst Instance, r Rule, bac
 		simCfg = e.simCfg
 	}
 	key := inst.Key() + "|r=" + r.Fingerprint() + "|b=" + resolved.String()
-	if resolved == MonteCarlo {
+	switch resolved {
+	case MonteCarlo:
 		key += "|t=" + strconv.Itoa(simCfg.Trials) +
 			",s=" + strconv.FormatUint(simCfg.Seed, 10) +
 			",w=" + strconv.Itoa(simCfg.Workers)
+	case MonteCarloQMC:
+		// Replicates are striped deterministically, so Workers never
+		// changes the returned bits and stays out of the key.
+		key += "|t=" + strconv.Itoa(simCfg.Trials) +
+			",s=" + strconv.FormatUint(simCfg.Seed, 10) +
+			",r=" + strconv.Itoa(simCfg.Replicates)
 	}
 
 	e.mu.Lock()
@@ -331,6 +352,11 @@ func (e *Engine) resolve(r Rule, backend Backend) (Backend, error) {
 		return Exact, nil
 	case MonteCarlo:
 		return MonteCarlo, nil
+	case MonteCarloQMC:
+		if _, ok := r.(Simulator); ok {
+			return 0, fmt.Errorf("engine: rule %s has a bespoke simulator; mc-qmc needs a local-rule system", r.Name())
+		}
+		return MonteCarloQMC, nil
 	case Auto:
 		if _, ok := r.(ExactEvaluator); ok {
 			return Exact, nil
@@ -377,6 +403,17 @@ func (e *Engine) compute(ctx context.Context, inst Instance, r Rule, backend Bac
 			return Result{}, err
 		}
 		return Result{P: res.P, StdErr: res.StdErr, Backend: MonteCarlo, Sim: &res}, nil
+	case MonteCarloQMC:
+		e.obs.Counter("engine.evals.mc_qmc").Inc()
+		sys, err := r.System(inst)
+		if err != nil {
+			return Result{}, err
+		}
+		res, err := sim.WinProbabilityQMC(sys, simCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{P: res.P, StdErr: res.StdErr, Backend: MonteCarloQMC, Sim: &res}, nil
 	default:
 		return Result{}, fmt.Errorf("engine: unresolved backend %v", backend)
 	}

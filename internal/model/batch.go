@@ -11,14 +11,31 @@ import (
 // This file is the zero-allocation batch layer of the model: BatchRule
 // lets a rule decide many trials in one call (no per-player interface
 // dispatch inside the Monte-Carlo hot loop), BatchScratch pools the
-// per-worker buffers a batch needs, and BatchKernel samples and plays a
-// whole batch of trials from those buffers.
+// per-worker lane buffers, and BatchKernel samples and plays batches of
+// trials as fused, branch-free lane loops.
 //
 // The load-bearing invariant is RNG draw order: for every trial the
 // kernel draws the n inputs first and then one coin per strictly
 // randomized player in ascending player order — exactly the sequence
 // SampleInputs + Play consumes — so for a fixed stream the batched and
 // per-trial paths produce bit-identical outcomes.
+//
+// Layout: scratch lanes are fixed BatchSize-wide columns in one flat
+// slab, column-major — player i's inputs live in column i, coin column c
+// in column n+c. A Play of any batch size works the slab in chunks of at
+// most BatchSize trials, so the slab is sized once for the widest system
+// seen and re-sliced thereafter (mixed-size sweeps stop re-allocating).
+// At kernel construction every player's rule is classified into a fused
+// lane op (threshold, coin compare, constant, band) whose decide and
+// load accumulation run in a single pass over the column with arithmetic
+// selects instead of per-trial branches; rules outside the known set
+// keep the generic DecideBatch path.
+
+// BatchSize is the lane width of the batch kernel: every scratch column
+// holds this many trials, and larger plays are chunked internally. 256
+// float64 lanes (2 KiB per column) keep a whole small-n system resident
+// in L1 while amortizing loop overhead.
+const BatchSize = 256
 
 // BatchRule is implemented by rules that can decide a whole batch of
 // trials in one call. The Monte-Carlo engine uses it to skip the
@@ -39,6 +56,15 @@ type BatchRule interface {
 	// CoinDraws is 0. Implementations must be equivalent to calling
 	// Decide once per element with the matching coin as the rng draw.
 	DecideBatch(inputs, coins []float64, out []Bin)
+}
+
+// LaneSampler is the point source a quasi-Monte-Carlo play draws from:
+// Fill writes coordinate dim of points start..start+count-1 into
+// dst[:count], each value in [0, 1). Implemented by *qrand.Sequence.
+// The kernel uses dimension i < n for player i's input and dimension
+// n+c for coin column c.
+type LaneSampler interface {
+	Fill(dst []float64, dim int, start uint64, count int)
 }
 
 // CoinDraws implements BatchRule: a strictly randomized oblivious rule
@@ -185,17 +211,23 @@ var (
 	_ LocalRule = IntervalUnionRule{}
 )
 
-// BatchScratch holds the reusable buffers one worker needs to sample and
-// play batches of trials. Buffers grow on demand and are recycled through
-// a shared pool: a steady-state worker loop performs zero allocations per
-// trial.
+// BatchScratch holds the reusable lane buffers one worker needs to sample
+// and play batches of trials. The lane slab is sized to the widest system
+// the scratch has seen and re-sliced per play (never re-pooled per
+// width), so a steady-state worker loop — even one sweeping mixed
+// instance sizes — performs zero allocations per trial.
 type BatchScratch struct {
-	// inputs and coins are column-major: player i's (or coin column c's)
-	// values for a b-trial batch occupy [i*b : (i+1)*b].
-	inputs, coins []float64
-	decisions     []Bin
-	load0, load1  []float64
-	wins          []bool
+	// lanes is one flat slab of (n + coinCols) columns, each BatchSize
+	// wide, column-major: column i < n holds player i's inputs for the
+	// current chunk, column n+c holds coin column c. Grows monotonically.
+	lanes []float64
+	// wins holds one flag per trial of the most recent Play (all chunks);
+	// it is the only buffer whose size follows the play's batch size.
+	wins []bool
+	// Per-chunk accumulators and the decision lane for generic rules are
+	// fixed-size: chunking bounds them at BatchSize.
+	load0, load1 [BatchSize]float64
+	dec          [BatchSize]Bin
 }
 
 var batchScratchPool = sync.Pool{New: func() any { return new(BatchScratch) }}
@@ -213,46 +245,73 @@ func (sc *BatchScratch) Release() { batchScratchPool.Put(sc) }
 // only the first b entries (the batch size passed to Play) are valid.
 func (sc *BatchScratch) Wins() []bool { return sc.wins }
 
-// ensure grows the buffers to hold a b-trial batch for n players and
-// coinCols coin columns.
-func (sc *BatchScratch) ensure(n, coinCols, b int) {
-	if need := n * b; cap(sc.inputs) < need {
-		sc.inputs = make([]float64, need)
-		sc.decisions = make([]Bin, need)
+// ensure sizes the lane slab for cols columns and the win buffer for a
+// b-trial play. Both grow monotonically: shrinking requests re-slice the
+// existing capacity.
+func (sc *BatchScratch) ensure(cols, b int) {
+	if need := cols * BatchSize; cap(sc.lanes) < need {
+		sc.lanes = make([]float64, need)
 	} else {
-		sc.inputs = sc.inputs[:need]
-		sc.decisions = sc.decisions[:need]
+		sc.lanes = sc.lanes[:need]
 	}
-	if need := coinCols * b; cap(sc.coins) < need {
-		sc.coins = make([]float64, need)
-	} else {
-		sc.coins = sc.coins[:need]
-	}
-	if cap(sc.load0) < b {
-		sc.load0 = make([]float64, b)
-		sc.load1 = make([]float64, b)
+	if cap(sc.wins) < b {
 		sc.wins = make([]bool, b)
 	} else {
-		sc.load0 = sc.load0[:b]
-		sc.load1 = sc.load1[:b]
 		sc.wins = sc.wins[:b]
 	}
+}
+
+// laneKind tags the fused decide+accumulate loop a player's column runs.
+type laneKind uint8
+
+const (
+	// laneGeneric falls back to BatchRule.DecideBatch plus a separate
+	// accumulation pass over the decision lane.
+	laneGeneric laneKind = iota
+	// laneThreshold : d = 1{x > a}.
+	laneThreshold
+	// laneCoin : d = 1{coin >= a} (strictly randomized oblivious).
+	laneCoin
+	// laneConst0 / laneConst1 : every trial goes to bin 0 / bin 1.
+	laneConst0
+	laneConst1
+	// laneBand : d = 1 - 1{a <= x <= b} (single-interval union).
+	laneBand
+)
+
+// laneOp is one player's classified rule: the lane kind plus up to two
+// parameters (threshold, coin bias, or band endpoints), the player's coin
+// column (-1 when coinless), and the rule itself for generic dispatch.
+// Keeping the per-player state in one slice keeps kernel construction at
+// a handful of allocations — it sits on the repeated-evaluation hot path.
+type laneOp struct {
+	kind laneKind
+	coin int
+	a, b float64
+	rule BatchRule
 }
 
 // BatchKernel plays batches of Monte-Carlo trials for one system with no
 // per-trial allocation and no per-player interface dispatch. It is
 // immutable after construction and safe to share across workers (each
-// worker brings its own rng and BatchScratch).
+// worker brings its own randomness source and BatchScratch).
 type BatchKernel struct {
 	capacity float64
-	rules    []BatchRule
+	ops      []laneOp
 	// widths holds the per-player input ranges π_i, nil for the
 	// homogeneous U[0, 1] game (mirroring System.widths).
 	widths []float64
-	// coinIx maps player index to its coin column, -1 for coinless
-	// players; coinPlayers lists the coin-drawing players ascending.
-	coinIx      []int
+	// coinPlayers lists the coin-drawing players ascending; each op's
+	// coin field maps the player to its coin column.
 	coinPlayers []int
+	// fused reports that every player's rule reduced to a coin-free
+	// "bin 0 iff fusedLo[i] <= x <= fusedHi[i]" band, enabling the
+	// register-resident trial loop that skips the lane slab entirely.
+	// fusedTh additionally marks every band as lower-unbounded (pure
+	// threshold systems), which halves the per-player compare work.
+	fused            bool
+	fusedTh          bool
+	fusedLo, fusedHi []float64
 }
 
 // NewBatchKernel builds the batch kernel for the system, or reports
@@ -265,31 +324,98 @@ func NewBatchKernel(sys *System) (*BatchKernel, bool) {
 	}
 	k := &BatchKernel{
 		capacity: sys.capacity,
-		rules:    make([]BatchRule, len(sys.rules)),
+		ops:      make([]laneOp, len(sys.rules)),
 		widths:   sys.widths,
-		coinIx:   make([]int, len(sys.rules)),
 	}
 	for i, r := range sys.rules {
 		br, ok := r.(BatchRule)
 		if !ok {
 			return nil, false
 		}
-		k.rules[i] = br
+		op := classify(br)
+		op.rule = br
 		switch br.CoinDraws() {
 		case 0:
-			k.coinIx[i] = -1
+			op.coin = -1
 		case 1:
-			k.coinIx[i] = len(k.coinPlayers)
+			op.coin = len(k.coinPlayers)
 			k.coinPlayers = append(k.coinPlayers, i)
 		default:
 			return nil, false
 		}
+		k.ops[i] = op
 	}
+	k.buildFused()
 	return k, true
 }
 
+// buildFused lowers the op list to per-player bin-0 bands when every rule
+// is deterministic and simple: bin 0 iff lo <= x <= hi. Threshold rules
+// become (-Inf, th] (x > th is the exact complement for the finite inputs
+// the game draws), bands keep their endpoints, constant rules get the
+// full or the empty line. Anything with coins, generic dispatch, or a NaN
+// parameter keeps the lane path.
+func (k *BatchKernel) buildFused() {
+	n := len(k.ops)
+	buf := make([]float64, 2*n)
+	lo, hi := buf[:n:n], buf[n:]
+	for i, op := range k.ops {
+		switch op.kind {
+		case laneThreshold:
+			if math.IsNaN(op.a) {
+				return
+			}
+			lo[i], hi[i] = math.Inf(-1), op.a
+		case laneBand:
+			lo[i], hi[i] = op.a, op.b
+		case laneConst0:
+			lo[i], hi[i] = math.Inf(-1), math.Inf(1)
+		case laneConst1:
+			lo[i], hi[i] = math.Inf(1), math.Inf(-1)
+		default:
+			return
+		}
+	}
+	k.fused, k.fusedLo, k.fusedHi = true, lo, hi
+	k.fusedTh = true
+	for _, l := range lo {
+		if !math.IsInf(l, -1) {
+			k.fusedTh = false
+			break
+		}
+	}
+}
+
+// classify maps a rule to its fused lane op; unknown rule types keep the
+// generic DecideBatch path. Each mapping mirrors the rule's DecideBatch
+// semantics exactly (including NaN parameters, where the comparison in
+// the fused loop and in DecideBatch is the same expression).
+func classify(br BatchRule) laneOp {
+	switch r := br.(type) {
+	case ThresholdRule:
+		return laneOp{kind: laneThreshold, a: r.Threshold}
+	case ObliviousRule:
+		switch {
+		case r.P0 <= 0:
+			return laneOp{kind: laneConst1}
+		case r.P0 >= 1:
+			return laneOp{kind: laneConst0}
+		default:
+			return laneOp{kind: laneCoin, a: r.P0}
+		}
+	case IntervalUnionRule:
+		switch len(r.los) {
+		case 0:
+			return laneOp{kind: laneConst1}
+		case 1:
+			return laneOp{kind: laneBand, a: r.los[0], b: r.his[0]}
+		}
+	}
+	return laneOp{kind: laneGeneric}
+}
+
 // N returns the number of players.
-func (k *BatchKernel) N() int { return len(k.rules) }
+func (k *BatchKernel) N() int { return len(k.ops) }
 
 // Play samples and plays b trials drawn from rng, using sc's buffers, and
 // returns the number of wins. Per-trial win flags are left in
@@ -297,72 +423,394 @@ func (k *BatchKernel) N() int { return len(k.rules) }
 // SampleInputs + Play rounds, so batched results are bit-identical to the
 // per-trial path on a fixed stream.
 func (k *BatchKernel) Play(sc *BatchScratch, rng *rand.Rand, b int) int {
-	n := len(k.rules)
-	sc.ensure(n, len(k.coinPlayers), b)
-	inputs, coins := sc.inputs, sc.coins
+	n, cc := len(k.ops), len(k.coinPlayers)
+	sc.ensure(n+cc, b)
+	wins := 0
+	for off := 0; off < b; off += BatchSize {
+		c := min(BatchSize, b-off)
+		k.fillRand(sc, rng, c)
+		wins += k.playChunk(sc, c, sc.wins[off:off+c])
+	}
+	return wins
+}
 
-	// Draw trial-major (the per-trial order), store column-major. The
-	// homogeneous branch is the exact pre-heterogeneous loop, so its
-	// results stay bit-identical; the heterogeneous branch scales each
-	// draw by the player's range, matching SampleInputsInto.
+// PlaySrc is Play drawing straight from a rand.Source: the same stream a
+// rand.New(src) would consume, with the identical Float64 construction,
+// so results are bit-identical to Play on the same source state. When src
+// is a *rand.PCG (the simulator's worker source) the draws devirtualize
+// into direct calls, which is the kernel's fastest pseudo-random path.
+func (k *BatchKernel) PlaySrc(sc *BatchScratch, src rand.Source, b int) int {
+	n, cc := len(k.ops), len(k.coinPlayers)
+	pcg, _ := src.(*rand.PCG)
+	if k.fused {
+		// Coin-free simple systems skip the lane slab: draws, decisions
+		// and load sums all stay in registers, one pass per trial.
+		sc.ensure(0, b)
+		if pcg != nil {
+			if k.fusedTh {
+				return k.playFusedThPCG(pcg, b, sc.wins)
+			}
+			return k.playFusedPCG(pcg, b, sc.wins)
+		}
+		return k.playFusedSrc(src, b, sc.wins)
+	}
+	sc.ensure(n+cc, b)
+	wins := 0
+	for off := 0; off < b; off += BatchSize {
+		c := min(BatchSize, b-off)
+		if pcg != nil {
+			k.fillPCG(sc, pcg, c)
+		} else {
+			k.fillSrc(sc, src, c)
+		}
+		wins += k.playChunk(sc, c, sc.wins[off:off+c])
+	}
+	return wins
+}
+
+// playFusedPCG is the register-resident trial loop over the concrete PCG
+// source: per player it draws, selects the bin by band membership, and
+// accumulates both loads without touching the lane slab. The summation
+// per trial runs in ascending player order adding exactly x or +0.0 per
+// bin, so results stay bit-identical to the lane and per-trial paths.
+func (k *BatchKernel) playFusedPCG(pcg *rand.PCG, b int, winbuf []bool) int {
+	lo := k.fusedLo
+	hi := k.fusedHi[:len(lo)]
+	cap := k.capacity
+	winbuf = winbuf[:b]
+	wins := 0
 	if k.widths == nil {
-		for t := 0; t < b; t++ {
-			for i := 0; i < n; i++ {
-				inputs[i*b+t] = rng.Float64()
+		for t := range winbuf {
+			l0, l1 := 0.0, 0.0
+			for i, liLo := range lo {
+				x := srcFloat64(pcg.Uint64())
+				m := math.Float64frombits(math.Float64bits(x) & -(b2u(x >= liLo) & b2u(x <= hi[i])))
+				l0 += m
+				l1 += x - m
 			}
-			for c := range k.coinPlayers {
-				coins[c*b+t] = rng.Float64()
+			u := b2u(l0 <= cap) & b2u(l1 <= cap)
+			winbuf[t] = u != 0
+			wins += int(u)
+		}
+		return wins
+	}
+	widths := k.widths[:len(lo)]
+	for t := range winbuf {
+		l0, l1 := 0.0, 0.0
+		for i, liLo := range lo {
+			x := srcFloat64(pcg.Uint64()) * widths[i]
+			m := math.Float64frombits(math.Float64bits(x) & -(b2u(x >= liLo) & b2u(x <= hi[i])))
+			l0 += m
+			l1 += x - m
+		}
+		u := b2u(l0 <= cap) & b2u(l1 <= cap)
+		winbuf[t] = u != 0
+		wins += int(u)
+	}
+	return wins
+}
+
+// playFusedThPCG is playFusedPCG for pure threshold systems: every band
+// is lower-unbounded, so membership is the single compare x <= hi[i].
+func (k *BatchKernel) playFusedThPCG(pcg *rand.PCG, b int, winbuf []bool) int {
+	hi := k.fusedHi
+	cap := k.capacity
+	winbuf = winbuf[:b]
+	wins := 0
+	if k.widths == nil {
+		for t := range winbuf {
+			l0, l1 := 0.0, 0.0
+			for _, th := range hi {
+				x := srcFloat64(pcg.Uint64())
+				m := math.Float64frombits(math.Float64bits(x) & -b2u(x <= th))
+				l0 += m
+				l1 += x - m
+			}
+			u := b2u(l0 <= cap) & b2u(l1 <= cap)
+			winbuf[t] = u != 0
+			wins += int(u)
+		}
+		return wins
+	}
+	widths := k.widths[:len(hi)]
+	for t := range winbuf {
+		l0, l1 := 0.0, 0.0
+		for i, th := range hi {
+			x := srcFloat64(pcg.Uint64()) * widths[i]
+			m := math.Float64frombits(math.Float64bits(x) & -b2u(x <= th))
+			l0 += m
+			l1 += x - m
+		}
+		u := b2u(l0 <= cap) & b2u(l1 <= cap)
+		winbuf[t] = u != 0
+		wins += int(u)
+	}
+	return wins
+}
+
+// playFusedSrc is playFusedPCG over an abstract Source (the observed-mode
+// counting wrapper lands here); same arithmetic, interface draws.
+func (k *BatchKernel) playFusedSrc(src rand.Source, b int, winbuf []bool) int {
+	n := len(k.ops)
+	lo, hi := k.fusedLo, k.fusedHi
+	cap := k.capacity
+	wins := 0
+	for t := 0; t < b; t++ {
+		l0, l1 := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := srcFloat64(src.Uint64())
+			if k.widths != nil {
+				x *= k.widths[i]
+			}
+			m := math.Float64frombits(math.Float64bits(x) & -(b2u(x >= lo[i]) & b2u(x <= hi[i])))
+			l0 += m
+			l1 += x - m
+		}
+		u := b2u(l0 <= cap) & b2u(l1 <= cap)
+		winbuf[t] = u != 0
+		wins += int(u)
+	}
+	return wins
+}
+
+// PlayQMC plays b trials whose coordinates are points start..start+b-1
+// of a low-discrepancy sequence: dimension i < n is player i's input
+// (scaled by π_i in the heterogeneous game), dimension n+c is coin
+// column c. It returns the number of wins, with per-trial flags in
+// sc.Wins()[:b]. Unlike the serial RNG paths, disjoint index ranges are
+// independent, so shards may play them in any order.
+func (k *BatchKernel) PlayQMC(sc *BatchScratch, seq LaneSampler, start uint64, b int) int {
+	n, cc := len(k.ops), len(k.coinPlayers)
+	sc.ensure(n+cc, b)
+	wins := 0
+	for off := 0; off < b; off += BatchSize {
+		c := min(BatchSize, b-off)
+		for i := 0; i < n+cc; i++ {
+			seq.Fill(sc.lanes[i*BatchSize:i*BatchSize+c], i, start+uint64(off), c)
+		}
+		if k.widths != nil {
+			for i, w := range k.widths {
+				col := sc.lanes[i*BatchSize : i*BatchSize+c]
+				for t := range col {
+					col[t] *= w
+				}
 			}
 		}
-	} else {
-		for t := 0; t < b; t++ {
-			for i := 0; i < n; i++ {
-				inputs[i*b+t] = rng.Float64() * k.widths[i]
+		wins += k.playChunk(sc, c, sc.wins[off:off+c])
+	}
+	return wins
+}
+
+// Dims reports the number of sample-space dimensions one trial consumes:
+// n inputs plus one coin per strictly randomized player. A LaneSampler
+// handed to PlayQMC must provide at least this many dimensions.
+func (k *BatchKernel) Dims() int { return len(k.ops) + len(k.coinPlayers) }
+
+// fillRand draws one chunk of c trials from rng into the lane slab,
+// trial-major (the per-trial draw order: n inputs, then the coins in
+// ascending player order), storing column-major. The homogeneous loop is
+// kept separate so its stream of operations — and therefore its bits —
+// matches the pre-heterogeneous kernel exactly.
+func (k *BatchKernel) fillRand(sc *BatchScratch, rng *rand.Rand, c int) {
+	n, cc := len(k.ops), len(k.coinPlayers)
+	lanes := sc.lanes
+	if k.widths == nil {
+		for t := 0; t < c; t++ {
+			for i := 0; i < n+cc; i++ {
+				lanes[i*BatchSize+t] = rng.Float64()
 			}
-			for c := range k.coinPlayers {
-				coins[c*b+t] = rng.Float64()
-			}
+		}
+		return
+	}
+	for t := 0; t < c; t++ {
+		for i := 0; i < n; i++ {
+			lanes[i*BatchSize+t] = rng.Float64() * k.widths[i]
+		}
+		for j := n; j < n+cc; j++ {
+			lanes[j*BatchSize+t] = rng.Float64()
 		}
 	}
+}
 
-	// One DecideBatch call per player, on its contiguous column.
-	for i := 0; i < n; i++ {
-		var cs []float64
-		if ci := k.coinIx[i]; ci >= 0 {
-			cs = coins[ci*b : (ci+1)*b]
+// srcFloat64 is the math/rand/v2 Float64 construction applied to a raw
+// source draw. The multiply by 0x1p-53 is bit-identical to the stdlib's
+// division by 2^53 — both are exact scalings of a 53-bit integer — but
+// compiles to MULSD instead of the slower DIVSD.
+func srcFloat64(u uint64) float64 { return float64(u<<11>>11) * 0x1p-53 }
+
+// fillSrc is fillRand drawing from a raw Source (the observed-mode
+// counting wrapper takes this path).
+func (k *BatchKernel) fillSrc(sc *BatchScratch, src rand.Source, c int) {
+	n, cc := len(k.ops), len(k.coinPlayers)
+	lanes := sc.lanes
+	if k.widths == nil {
+		for t := 0; t < c; t++ {
+			for i := 0; i < n+cc; i++ {
+				lanes[i*BatchSize+t] = srcFloat64(src.Uint64())
+			}
 		}
-		k.rules[i].DecideBatch(inputs[i*b:(i+1)*b], cs, sc.decisions[i*b:(i+1)*b])
+		return
 	}
+	for t := 0; t < c; t++ {
+		for i := 0; i < n; i++ {
+			lanes[i*BatchSize+t] = srcFloat64(src.Uint64()) * k.widths[i]
+		}
+		for j := n; j < n+cc; j++ {
+			lanes[j*BatchSize+t] = srcFloat64(src.Uint64())
+		}
+	}
+}
 
-	// Accumulate bin loads player by player. Per trial the additions run
-	// in ascending player order, matching Play's summation order so the
-	// floating-point results agree bit-for-bit: with d ∈ {0, 1}, the
-	// branch-free x·d / x·(1−d) terms add either exactly x or exactly
-	// +0.0, and adding +0.0 to a non-negative load leaves its bits
-	// unchanged. The multiply form avoids a data-dependent branch that
-	// would mispredict on every other trial.
-	load0, load1 := sc.load0[:b], sc.load1[:b]
+// fillPCG is fillSrc specialized to the concrete *rand.PCG so the draw
+// calls are direct rather than through the Source interface.
+func (k *BatchKernel) fillPCG(sc *BatchScratch, pcg *rand.PCG, c int) {
+	n, cc := len(k.ops), len(k.coinPlayers)
+	lanes := sc.lanes
+	if k.widths == nil {
+		for t := 0; t < c; t++ {
+			for i := 0; i < n+cc; i++ {
+				lanes[i*BatchSize+t] = srcFloat64(pcg.Uint64())
+			}
+		}
+		return
+	}
+	for t := 0; t < c; t++ {
+		for i := 0; i < n; i++ {
+			lanes[i*BatchSize+t] = srcFloat64(pcg.Uint64()) * k.widths[i]
+		}
+		for j := n; j < n+cc; j++ {
+			lanes[j*BatchSize+t] = srcFloat64(pcg.Uint64())
+		}
+	}
+}
+
+// playChunk decides and scores one filled chunk of c trials, writing
+// per-trial flags into winbuf[:c] and returning the win count.
+//
+// Loads accumulate player by player; per trial the additions run in
+// ascending player order, matching the per-trial Play's summation order
+// so the floating-point results agree bit-for-bit: with d ∈ {0, 1} the
+// branch-free m = x·d select adds either exactly x or exactly +0.0 to a
+// bin, and adding +0.0 to a non-negative load leaves its bits unchanged.
+// The arithmetic select avoids a data-dependent branch that would
+// mispredict on every other trial.
+func (k *BatchKernel) playChunk(sc *BatchScratch, c int, winbuf []bool) int {
+	n := len(k.ops)
+	load0, load1 := sc.load0[:c], sc.load1[:c]
 	for t := range load0 {
 		load0[t], load1[t] = 0, 0
 	}
-	for i := 0; i < n; i++ {
-		col := inputs[i*b : (i+1)*b]
-		dec := sc.decisions[i*b : (i+1)*b]
-		for t, x := range col {
-			d := float64(dec[t])
-			load0[t] += x * (1 - d)
-			load1[t] += x * d
+	for i := range k.ops {
+		col := sc.lanes[i*BatchSize : i*BatchSize+c]
+		op := &k.ops[i]
+		switch op.kind {
+		case laneThreshold:
+			fuseThreshold(col, load0, load1, op.a)
+		case laneCoin:
+			ci := op.coin
+			coin := sc.lanes[(n+ci)*BatchSize : (n+ci)*BatchSize+c]
+			fuseCoin(col, coin, load0, load1, op.a)
+		case laneConst0:
+			fuseConst(col, load0)
+		case laneConst1:
+			fuseConst(col, load1)
+		case laneBand:
+			fuseBand(col, load0, load1, op.a, op.b)
+		default:
+			var cs []float64
+			if ci := op.coin; ci >= 0 {
+				cs = sc.lanes[(n+ci)*BatchSize : (n+ci)*BatchSize+c]
+			}
+			dec := sc.dec[:c]
+			op.rule.DecideBatch(col, cs, dec)
+			fuseDecisions(col, dec, load0, load1)
 		}
 	}
 
+	cap := k.capacity
 	wins := 0
-	winbuf := sc.wins[:b]
-	for t := 0; t < b; t++ {
-		w := load0[t] <= k.capacity && load1[t] <= k.capacity
-		winbuf[t] = w
-		if w {
-			wins++
-		}
+	for t := 0; t < c; t++ {
+		// Branch-free win count: the data-dependent flag would mispredict
+		// roughly every other trial as a conditional increment.
+		u := b2u(load0[t] <= cap) & b2u(load1[t] <= cap)
+		winbuf[t] = u != 0
+		wins += int(u)
 	}
 	return wins
+}
+
+// b2u converts a comparison result to 0/1 branch-free (SETcc).
+func b2u(c bool) uint64 {
+	var u uint64
+	if c {
+		u = 1
+	}
+	return u
+}
+
+// sel0 returns x when c holds and +0.0 otherwise, without a branch or an
+// int→float conversion: ANDing the payload bits with an all-ones/zero
+// mask yields exactly x or +0.0, the two values the reference path's
+// x·d select produces.
+func sel0(x float64, c bool) float64 {
+	return math.Float64frombits(math.Float64bits(x) & -b2u(c))
+}
+
+// fuseThreshold: d = 1{x > th}. m = sel0(x, d) is exactly x or +0.0, so
+// load1 += m and load0 += x − m reproduce the ±0.0-exact per-trial sums.
+func fuseThreshold(col, load0, load1 []float64, th float64) {
+	load0 = load0[:len(col)]
+	load1 = load1[:len(col)]
+	for t, x := range col {
+		m := sel0(x, x > th)
+		load0[t] += x - m
+		load1[t] += m
+	}
+}
+
+// fuseCoin: d = 1{coin >= p0} (strictly randomized oblivious player).
+func fuseCoin(col, coin, load0, load1 []float64, p0 float64) {
+	load0 = load0[:len(col)]
+	load1 = load1[:len(col)]
+	coin = coin[:len(col)]
+	for t, x := range col {
+		m := sel0(x, coin[t] >= p0)
+		load0[t] += x - m
+		load1[t] += m
+	}
+}
+
+// fuseConst adds the whole column to one bin (degenerate rules). The
+// other bin receives exactly +0.0 per trial in the reference path, which
+// never changes a non-negative load's bits, so skipping it is exact.
+func fuseConst(col, load []float64) {
+	load = load[:len(col)]
+	for t, x := range col {
+		load[t] += x
+	}
+}
+
+// fuseBand: d = 1 − 1{lo <= x <= hi} (single-interval union rule). The
+// two comparisons combine with & rather than && so no short-circuit
+// branch is emitted.
+func fuseBand(col, load0, load1 []float64, lo, hi float64) {
+	load0 = load0[:len(col)]
+	load1 = load1[:len(col)]
+	for t, x := range col {
+		m := math.Float64frombits(math.Float64bits(x) & -(b2u(x >= lo) & b2u(x <= hi)))
+		load0[t] += m
+		load1[t] += x - m
+	}
+}
+
+// fuseDecisions accumulates a generic rule's decision lane.
+func fuseDecisions(col []float64, dec []Bin, load0, load1 []float64) {
+	load0 = load0[:len(col)]
+	load1 = load1[:len(col)]
+	dec = dec[:len(col)]
+	for t, x := range col {
+		m := sel0(x, dec[t] == Bin1)
+		load0[t] += x - m
+		load1[t] += m
+	}
 }

@@ -339,3 +339,254 @@ func TestPlayIntoReusesBuffers(t *testing.T) {
 		t.Error("nil rng: expected error")
 	}
 }
+
+// rawSource hides a source's concrete type so tests can force the
+// interface-draw paths (fillSrc / playFusedSrc).
+type rawSource struct{ s rand.Source }
+
+func (r rawSource) Uint64() uint64 { return r.s.Uint64() }
+
+// playSrcSystems builds one system per kernel path: the pure-threshold
+// register loop, the banded register loop, the lane path with coins, and
+// the heterogeneous variants.
+func playSrcSystems(t *testing.T) map[string]*System {
+	t.Helper()
+	thr, _ := NewThresholdRule(0.622)
+	obl, _ := NewObliviousRule(0.37)
+	band, err := NewIntervalUnionRule("band", []float64{0.2}, []float64{0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewIntervalUnionRule("multi", []float64{0.1, 0.6}, []float64{0.3, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	always, _ := NewObliviousRule(0) // degenerate: every trial to bin 1
+	sys := map[string]*System{}
+	var e error
+	add := func(name string, s *System, err error) {
+		if err != nil {
+			e = err
+			return
+		}
+		sys[name] = s
+	}
+	s, err := NewSystem([]LocalRule{thr, thr, thr}, 1)
+	add("threshold", s, err)
+	s, err = NewSystem([]LocalRule{thr, band, always}, 1.2)
+	add("banded", s, err)
+	s, err = NewSystem([]LocalRule{thr, obl, band, multi}, 1.2)
+	add("coins+generic", s, err)
+	s, err = NewSystemPi([]LocalRule{thr, thr, thr}, 1, []float64{0.5, 1, 0.75})
+	add("threshold-pi", s, err)
+	s, err = NewSystemPi([]LocalRule{thr, obl, band}, 1, []float64{0.5, 1, 0.75})
+	add("mixed-pi", s, err)
+	if e != nil {
+		t.Fatal(e)
+	}
+	return sys
+}
+
+// TestPlaySrcMatchesPlay pins the bit-identity of every PlaySrc
+// specialization (fused threshold, fused band, lane path; PCG-concrete
+// and interface sources) against the reference Play over the same
+// stream: identical win flags, counts, and final source state.
+func TestPlaySrcMatchesPlay(t *testing.T) {
+	const b = 777
+	for name, sys := range playSrcSystems(t) {
+		k, ok := NewBatchKernel(sys)
+		if !ok {
+			t.Fatalf("%s: expected batch kernel", name)
+		}
+		ref := GetBatchScratch()
+		refWins := k.Play(ref, testRNG(7), b)
+		refFlags := append([]bool(nil), ref.Wins()[:b]...)
+		ref.Release()
+
+		for _, src := range []struct {
+			label string
+			src   rand.Source
+		}{
+			{"pcg", rand.NewPCG(7, 7^0x94d049bb133111eb)},
+			{"interface", rawSource{rand.NewPCG(7, 7^0x94d049bb133111eb)}},
+		} {
+			sc := GetBatchScratch()
+			wins := k.PlaySrc(sc, src.src, b)
+			if wins != refWins {
+				t.Errorf("%s/%s: PlaySrc wins %d, Play wins %d", name, src.label, wins, refWins)
+			}
+			for i := range refFlags {
+				if sc.Wins()[i] != refFlags[i] {
+					t.Fatalf("%s/%s: trial %d flag %v, want %v", name, src.label, i, sc.Wins()[i], refFlags[i])
+				}
+			}
+			sc.Release()
+			// Both paths must leave the stream in the same state.
+			want := testRNG(7)
+			for i := 0; i < b*k.Dims(); i++ {
+				want.Float64()
+			}
+			if a, bb := src.src.Uint64(), want.Uint64(); a != bb {
+				t.Errorf("%s/%s: stream diverged after play: %x vs %x", name, src.label, a, bb)
+			}
+		}
+	}
+}
+
+// TestBatchScratchMixedSizes pins the satellite fix: once a scratch has
+// seen the widest instance and the largest batch of a sweep, playing any
+// smaller (players, batch) mix re-slices the same slab — no per-width
+// re-allocation.
+func TestBatchScratchMixedSizes(t *testing.T) {
+	thr, _ := NewThresholdRule(0.5)
+	obl, _ := NewObliviousRule(0.37)
+	kernels := []*BatchKernel{}
+	for _, n := range []int{3, 8, 20} {
+		sys, err := UniformSystem(n, obl, float64(n)/3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, ok := NewBatchKernel(sys)
+		if !ok {
+			t.Fatal("expected batch kernel")
+		}
+		kernels = append(kernels, k)
+		sysT, err := UniformSystem(n, thr, float64(n)/3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kT, ok := NewBatchKernel(sysT)
+		if !ok {
+			t.Fatal("expected batch kernel")
+		}
+		kernels = append(kernels, kT)
+	}
+	sc := GetBatchScratch()
+	defer sc.Release()
+	rng := testRNG(3)
+	// Warm with the widest lane demand and the largest batch once.
+	kernels[len(kernels)-2].Play(sc, rng, 777)
+	allocs := testing.AllocsPerRun(5, func() {
+		for _, k := range kernels {
+			for _, b := range []int{100, 256, 777} {
+				k.Play(sc, rng, b)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("mixed-size sweep allocates %v times per pass, want 0", allocs)
+	}
+}
+
+// fillSampler is a deterministic LaneSampler stub: coordinate value
+// depends only on (dim, index), so tests can predict PlayQMC's inputs.
+type fillSampler struct{}
+
+func (fillSampler) Fill(dst []float64, dim int, start uint64, count int) {
+	for i := 0; i < count; i++ {
+		u := (start + uint64(i)) * 2654435761 % 997
+		v := (uint64(dim+1) * 40503 % 499)
+		dst[i] = float64((u*499+v)%(997*499)) / (997 * 499)
+	}
+}
+
+// TestPlayQMCMatchesPerTrial checks the QMC entry against a hand-rolled
+// per-trial evaluation on the same deterministic point set, including a
+// coin player and heterogeneous widths, across chunk boundaries.
+func TestPlayQMCMatchesPerTrial(t *testing.T) {
+	thr, _ := NewThresholdRule(0.4)
+	obl, _ := NewObliviousRule(0.37)
+	band, err := NewIntervalUnionRule("band", []float64{0.2}, []float64{0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := []float64{0.5, 1, 0.75}
+	sys, err := NewSystemPi([]LocalRule{thr, obl, band}, 1, widths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := NewBatchKernel(sys)
+	if !ok {
+		t.Fatal("expected batch kernel")
+	}
+	if k.Dims() != 4 {
+		t.Fatalf("dims = %d, want 4 (3 inputs + 1 coin)", k.Dims())
+	}
+	const start, b = 123, 777
+	sc := GetBatchScratch()
+	defer sc.Release()
+	wins := k.PlayQMC(sc, fillSampler{}, start, b)
+
+	want := 0
+	buf := make([]float64, 1)
+	for i := 0; i < b; i++ {
+		idx := uint64(start + i)
+		var x [3]float64
+		for d := 0; d < 3; d++ {
+			fillSampler{}.Fill(buf, d, idx, 1)
+			x[d] = buf[0] * widths[d]
+		}
+		fillSampler{}.Fill(buf, 3, idx, 1)
+		coin := buf[0]
+		l0, l1 := 0.0, 0.0
+		// player 0: threshold; player 1: oblivious coin; player 2: band.
+		if x[0] > 0.4 {
+			l1 += x[0]
+		} else {
+			l0 += x[0]
+		}
+		if coin >= 0.37 {
+			l1 += x[1]
+		} else {
+			l0 += x[1]
+		}
+		if x[2] >= 0.2 && x[2] <= 0.45 {
+			l0 += x[2]
+		} else {
+			l1 += x[2]
+		}
+		win := l0 <= 1 && l1 <= 1
+		if win != sc.Wins()[i] {
+			t.Fatalf("trial %d: PlayQMC win %v, reference %v", i, sc.Wins()[i], win)
+		}
+		if win {
+			want++
+		}
+	}
+	if wins != want {
+		t.Fatalf("PlayQMC wins %d, reference %d", wins, want)
+	}
+}
+
+// TestPlaySrcAndQMCAllocationFree extends the zero-allocation guard to
+// the new kernel entries (satellite: lane kernel + QMC sampler at 0
+// allocs/op steady state).
+func TestPlaySrcAndQMCAllocationFree(t *testing.T) {
+	thr, _ := NewThresholdRule(0.622)
+	obl, _ := NewObliviousRule(0.37)
+	sys, err := NewSystem([]LocalRule{thr, obl, thr}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := NewBatchKernel(sys)
+	if !ok {
+		t.Fatal("expected batch kernel")
+	}
+	src := rand.NewPCG(9, 9)
+	sc := GetBatchScratch()
+	defer sc.Release()
+	k.PlaySrc(sc, src, 256)
+	if allocs := testing.AllocsPerRun(10, func() {
+		k.PlaySrc(sc, src, 256)
+	}); allocs != 0 {
+		t.Errorf("steady-state PlaySrc allocates %v times per batch, want 0", allocs)
+	}
+	k.PlayQMC(sc, fillSampler{}, 0, 256)
+	var at uint64
+	if allocs := testing.AllocsPerRun(10, func() {
+		k.PlayQMC(sc, fillSampler{}, at, 256)
+		at += 256
+	}); allocs != 0 {
+		t.Errorf("steady-state PlayQMC allocates %v times per batch, want 0", allocs)
+	}
+}

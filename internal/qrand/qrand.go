@@ -1,0 +1,240 @@
+// Package qrand provides low-discrepancy (quasi-random) point sequences
+// for the mc-qmc sampling mode: a 64-bit Sobol sequence with per-replicate
+// digital-shift scrambling.
+//
+// Direction numbers are derived at package init from primitive polynomials
+// over GF(2), found by exhaustive search in ascending (degree, value)
+// order, with odd initial values m_k drawn from a fixed SplitMix64 stream.
+// The base point set is therefore a fixed, reproducible constant of the
+// package; randomization happens only through the per-instance digital
+// shift (a per-dimension XOR mask derived from the caller's seed), which
+// keeps every point uniformly distributed on the 2^-53 grid while
+// preserving the dyadic equidistribution of the underlying net. Averaging
+// estimates over independently seeded replicates yields an unbiased
+// estimator with an honest, sample-based standard error.
+//
+// Points are generated in Gray-code order (the standard Sobol traversal):
+// the first 2^k points of any prefix form the same set as the first 2^k
+// radical-inverse points, and consecutive indices differ by a single
+// direction-vector XOR, so lane fills cost a few instructions per
+// coordinate. The map index -> state is injective per dimension (the
+// generator matrix is upper triangular with a unit diagonal), so a
+// dimension's stream never repeats for indices below 2^64.
+package qrand
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxDim is the largest number of dimensions a Sequence supports. It is
+// bounded by the number of primitive polynomials enumerated at init; 96
+// covers every instance the simulator's QMC mode accepts (n players plus
+// one coin dimension per strictly-randomized player).
+const MaxDim = 96
+
+// directions[d][j] is the j-th direction vector of dimension d, stored as
+// a 64-bit binary fraction (bit 63 = 1/2). Computed once at package init.
+var directions [MaxDim][64]uint64
+
+func init() {
+	// Dimension 0 is the van der Corput sequence: v_j = 2^-(j+1).
+	for j := 0; j < 64; j++ {
+		directions[0][j] = 1 << (63 - j)
+	}
+	polys := primitivePolys(MaxDim - 1)
+	var m [64]uint64
+	for d := 1; d < MaxDim; d++ {
+		p := uint64(polys[d-1])
+		s := bits.Len64(p) - 1 // degree of the polynomial
+		for k := 0; k < s; k++ {
+			m[k] = initialM(d, k+1)
+		}
+		// m_k = 2^s m_{k-s} XOR m_{k-s} XOR_{i=1..s-1} c_i 2^i m_{k-i},
+		// where c_i is the coefficient of x^(s-i) in the polynomial.
+		for k := s; k < 64; k++ {
+			v := m[k-s] ^ (m[k-s] << uint(s))
+			for i := 1; i < s; i++ {
+				if p>>(uint(s-i))&1 == 1 {
+					v ^= m[k-i] << uint(i)
+				}
+			}
+			m[k] = v
+		}
+		for j := 0; j < 64; j++ {
+			directions[d][j] = m[j] << uint(63-j)
+		}
+	}
+}
+
+// initialM returns the initial direction value m_k for dimension d:
+// odd, below 2^k, drawn from a fixed (seed-independent) SplitMix64 hash
+// so the base sequence is a stable constant of the package.
+func initialM(d, k int) uint64 {
+	r := splitmix(0x5bf0_3635_0c48_b1a1 ^ uint64(d)*0x9e3779b97f4a7c15 ^ uint64(k)<<32)
+	return r&(1<<uint(k)-1) | 1
+}
+
+// splitmix is the SplitMix64 finalizer, used to derive initial direction
+// values and scramble masks from integer labels.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Sequence is a digitally-shifted Sobol sequence over a fixed number of
+// dimensions. Instances are cheap (one mask per dimension) and safe for
+// concurrent use: Fill is stateless with respect to the receiver.
+type Sequence struct {
+	dim  int
+	mask []uint64
+}
+
+// New returns a Sequence over dim dimensions whose digital shift is
+// derived from seed. Two sequences with the same (dim, seed) generate
+// identical points; different seeds give independent scramblings of the
+// same underlying net.
+func New(dim int, seed uint64) (*Sequence, error) {
+	if dim < 1 || dim > MaxDim {
+		return nil, fmt.Errorf("qrand: dimension %d out of range [1, %d]", dim, MaxDim)
+	}
+	s := &Sequence{dim: dim, mask: make([]uint64, dim)}
+	for d := range s.mask {
+		s.mask[d] = splitmix(seed ^ uint64(d+1)*0xd1342543de82ef95)
+	}
+	return s, nil
+}
+
+// Dim reports the number of dimensions the sequence generates.
+func (s *Sequence) Dim() int { return s.dim }
+
+// state returns the unscrambled Sobol state of point index i in
+// dimension d: the XOR of the direction vectors selected by the bits of
+// the Gray code of i.
+func state(d int, i uint64) uint64 {
+	v := &directions[d]
+	g := i ^ i>>1
+	var x uint64
+	for g != 0 {
+		x ^= v[bits.TrailingZeros64(g)]
+		g &= g - 1
+	}
+	return x
+}
+
+// Fill writes coordinate dim of points start..start+count-1 into
+// dst[:count]. Values lie in [0, 1). It performs no allocations, so lane
+// kernels can stream coordinates column by column.
+func (s *Sequence) Fill(dst []float64, dim int, start uint64, count int) {
+	if dim < 0 || dim >= s.dim {
+		panic(fmt.Sprintf("qrand: Fill dimension %d out of range [0, %d)", dim, s.dim))
+	}
+	m := s.mask[dim]
+	v := &directions[dim]
+	x := state(dim, start)
+	for i := 0; i < count; i++ {
+		// Exactly the stdlib rand/v2 Float64 construction: the top 53
+		// bits of the scrambled state, scaled into [0, 1).
+		dst[i] = float64((x^m)>>11) / (1 << 53)
+		x ^= v[bits.TrailingZeros64(start+uint64(i)+1)]
+	}
+}
+
+// Point writes all coordinates of point index i into dst[:Dim()].
+// Intended for tests and spot checks; lane code should use Fill.
+func (s *Sequence) Point(i uint64, dst []float64) {
+	if len(dst) < s.dim {
+		panic("qrand: Point destination shorter than dimension")
+	}
+	for d := 0; d < s.dim; d++ {
+		dst[d] = float64((state(d, i)^s.mask[d])>>11) / (1 << 53)
+	}
+}
+
+// --- primitive polynomial search over GF(2) ---
+
+// primitivePolys returns the first count primitive polynomials over
+// GF(2) in ascending (degree, value) order, encoded as bitmasks with the
+// leading and constant terms set.
+func primitivePolys(count int) []uint32 {
+	polys := make([]uint32, 0, count)
+	for d := 1; len(polys) < count; d++ {
+		ord := uint64(1)<<uint(d) - 1
+		factors := primeFactors(ord)
+		for mid := uint32(0); mid < 1<<uint(d-1) && len(polys) < count; mid++ {
+			p := uint32(1)<<uint(d) | mid<<1 | 1
+			if isPrimitive(uint64(p), d, ord, factors) {
+				polys = append(polys, p)
+			}
+		}
+	}
+	return polys
+}
+
+// isPrimitive reports whether p (degree d, constant term 1) is primitive:
+// the multiplicative order of x in GF(2)[x]/(p) equals ord = 2^d - 1.
+// That can only hold when p is irreducible, so no separate check is
+// needed: a reducible p has a unit group smaller than ord.
+func isPrimitive(p uint64, d int, ord uint64, factors []uint64) bool {
+	if polyPowMod(2, ord, p, d) != 1 {
+		return false
+	}
+	for _, q := range factors {
+		if polyPowMod(2, ord/q, p, d) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// polyMulMod multiplies two polynomials of degree < d over GF(2),
+// reduced modulo p (degree d).
+func polyMulMod(a, b, p uint64, d int) uint64 {
+	var r uint64
+	for b != 0 {
+		if b&1 == 1 {
+			r ^= a
+		}
+		b >>= 1
+		a <<= 1
+		if a>>uint(d)&1 == 1 {
+			a ^= p
+		}
+	}
+	return r
+}
+
+// polyPowMod computes base^e modulo p (degree d) over GF(2).
+func polyPowMod(base, e, p uint64, d int) uint64 {
+	r := uint64(1)
+	for ; e != 0; e >>= 1 {
+		if e&1 == 1 {
+			r = polyMulMod(r, base, p, d)
+		}
+		base = polyMulMod(base, base, p, d)
+	}
+	return r
+}
+
+// primeFactors returns the distinct prime factors of n by trial division
+// (n is at most 2^MaxDegree - 1, so this is instant).
+func primeFactors(n uint64) []uint64 {
+	var fs []uint64
+	for f := uint64(2); f*f <= n; f++ {
+		if n%f == 0 {
+			fs = append(fs, f)
+			for n%f == 0 {
+				n /= f
+			}
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}

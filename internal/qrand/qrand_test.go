@@ -1,0 +1,222 @@
+package qrand
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestNewRejectsBadDim(t *testing.T) {
+	for _, d := range []int{0, -1, MaxDim + 1} {
+		if _, err := New(d, 1); err == nil {
+			t.Errorf("New(%d) accepted an out-of-range dimension", d)
+		}
+	}
+	for _, d := range []int{1, 2, MaxDim} {
+		if _, err := New(d, 1); err != nil {
+			t.Errorf("New(%d): %v", d, err)
+		}
+	}
+}
+
+// Every dimension of a digitally-shifted Sobol sequence is a (0,1)-
+// sequence in base 2: among the first 2^k points, each dyadic interval
+// [i/2^j, (i+1)/2^j) with j <= k contains exactly 2^(k-j) points. The
+// XOR shift permutes dyadic intervals at every level, so the property
+// must survive scrambling.
+func TestDyadicStratification(t *testing.T) {
+	const k = 10
+	seq, err := New(MaxDim, 0xfeedface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 1<<k)
+	for dim := 0; dim < MaxDim; dim++ {
+		seq.Fill(buf, dim, 0, len(buf))
+		for j := 1; j <= k; j++ {
+			counts := make([]int, 1<<j)
+			for _, x := range buf {
+				counts[int(x*float64(int(1)<<j))]++
+			}
+			want := 1 << (k - j)
+			for bin, c := range counts {
+				if c != want {
+					t.Fatalf("dim %d: level %d bin %d holds %d points, want %d", dim, j, bin, c, want)
+				}
+			}
+		}
+	}
+}
+
+// The generator matrix is upper triangular with a unit diagonal, so the
+// index -> state map is injective: a dimension's stream must not repeat.
+func TestStreamNeverRepeats(t *testing.T) {
+	const window = 1 << 12
+	seq, err := New(8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, window)
+	for dim := 0; dim < 8; dim++ {
+		seq.Fill(buf, dim, 0, window)
+		seen := make(map[float64]int, window)
+		for i, x := range buf {
+			if j, dup := seen[x]; dup {
+				t.Fatalf("dim %d: value %v repeats at indices %d and %d", dim, x, j, i)
+			}
+			seen[x] = i
+		}
+	}
+}
+
+func TestValuesInUnitInterval(t *testing.T) {
+	seq, err := New(MaxDim, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 256)
+	for dim := 0; dim < MaxDim; dim++ {
+		for _, start := range []uint64{0, 1, 1 << 20, 1<<40 + 12345} {
+			seq.Fill(buf, dim, start, len(buf))
+			for i, x := range buf {
+				if !(x >= 0 && x < 1) {
+					t.Fatalf("dim %d index %d: %v outside [0,1)", dim, start+uint64(i), x)
+				}
+			}
+		}
+	}
+}
+
+// Fill at an arbitrary offset must agree with random access via Point:
+// the lane path and the direct radical-inverse path are the same stream.
+func TestFillMatchesPoint(t *testing.T) {
+	const dim = 5
+	seq, err := New(dim, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const start, count = 777, 130
+	cols := make([][]float64, dim)
+	for d := range cols {
+		cols[d] = make([]float64, count)
+		seq.Fill(cols[d], d, start, count)
+	}
+	pt := make([]float64, dim)
+	for i := 0; i < count; i++ {
+		seq.Point(start+uint64(i), pt)
+		for d := 0; d < dim; d++ {
+			if cols[d][i] != pt[d] {
+				t.Fatalf("index %d dim %d: Fill=%v Point=%v", start+i, d, cols[d][i], pt[d])
+			}
+		}
+	}
+}
+
+func TestSeedsReproducibleAndDistinct(t *testing.T) {
+	a1, _ := New(4, 123)
+	a2, _ := New(4, 123)
+	b, _ := New(4, 124)
+	x1 := make([]float64, 64)
+	x2 := make([]float64, 64)
+	y := make([]float64, 64)
+	a1.Fill(x1, 2, 0, 64)
+	a2.Fill(x2, 2, 0, 64)
+	b.Fill(y, 2, 0, 64)
+	same := true
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("same seed diverged at index %d: %v vs %v", i, x1[i], x2[i])
+		}
+		if x1[i] != y[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// The digital shift must preserve each point set's group structure: the
+// scrambled stream is the unscrambled stream XORed with a constant, so
+// pairwise XORs of states are seed-independent. Spot-check via the first
+// direction vector: state(i=1) ^ state(i=0) == v_0 for every dimension.
+func TestDirectionVectorDiagonal(t *testing.T) {
+	for d := 0; d < MaxDim; d++ {
+		for j := 0; j < 64; j++ {
+			v := directions[d][j]
+			if v == 0 {
+				t.Fatalf("dim %d: direction %d is zero", d, j)
+			}
+			if bits.TrailingZeros64(v) != 63-j {
+				t.Fatalf("dim %d: direction %d has lowest bit %d, want %d (unit diagonal)",
+					d, j, bits.TrailingZeros64(v), 63-j)
+			}
+		}
+	}
+}
+
+// Fill is the QMC sampler's hot path: it must stay allocation-free.
+func TestFillAllocationFree(t *testing.T) {
+	seq, err := New(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		for d := 0; d < 16; d++ {
+			seq.Fill(buf, d, 4096, len(buf))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Fill allocated %v times per run, want 0", allocs)
+	}
+}
+
+// FuzzStream drives arbitrary (seed, dim, start) windows and checks the
+// invariants the simulator relies on: values stay in [0,1), the window
+// never repeats a value, and Fill agrees with Point random access.
+func FuzzStream(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint64(0))
+	f.Add(uint64(42), uint8(7), uint64(1<<30))
+	f.Add(uint64(0), uint8(MaxDim-1), uint64(1<<50))
+	f.Fuzz(func(t *testing.T, seed uint64, dim uint8, start uint64) {
+		d := int(dim) % MaxDim
+		seq, err := New(d+1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const window = 512
+		if start > 1<<62 {
+			start >>= 2
+		}
+		buf := make([]float64, window)
+		seq.Fill(buf, d, start, window)
+		seen := make(map[float64]bool, window)
+		pt := make([]float64, d+1)
+		for i, x := range buf {
+			if !(x >= 0 && x < 1) {
+				t.Fatalf("index %d: %v outside [0,1)", start+uint64(i), x)
+			}
+			if seen[x] {
+				t.Fatalf("index %d: value %v repeated inside window", start+uint64(i), x)
+			}
+			seen[x] = true
+			seq.Point(start+uint64(i), pt)
+			if pt[d] != x {
+				t.Fatalf("index %d: Fill=%v Point=%v", start+uint64(i), x, pt[d])
+			}
+		}
+	})
+}
+
+func BenchmarkFill(b *testing.B) {
+	seq, err := New(4, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]float64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq.Fill(buf, i&3, uint64(i)<<8, len(buf))
+	}
+}

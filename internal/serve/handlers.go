@@ -70,7 +70,8 @@ func ruleFor(kind string, param float64) (engine.Rule, error) {
 // simConfigFor resolves a request's Monte-Carlo knobs against the
 // server's defaults and caps. Seed 0 selects the CLI default seed so a
 // canonical request reproduces `nocomm eval` output bit-for-bit.
-func (s *Server) simConfigFor(trials int, seed uint64, workers int) (sim.Config, error) {
+// Replicates only matters to the mc-qmc backend (0 = sim default).
+func (s *Server) simConfigFor(trials int, seed uint64, workers, replicates int) (sim.Config, error) {
 	if trials < 0 {
 		return sim.Config{}, badRequest("trials must be non-negative")
 	}
@@ -83,10 +84,16 @@ func (s *Server) simConfigFor(trials int, seed uint64, workers int) (sim.Config,
 	if workers < 0 {
 		return sim.Config{}, badRequest("workers must be non-negative")
 	}
+	if replicates < 0 {
+		return sim.Config{}, badRequest("replicates must be non-negative")
+	}
+	if replicates > trials {
+		return sim.Config{}, badRequest("replicates = %d exceeds trials = %d", replicates, trials)
+	}
 	if seed == 0 {
 		seed = defaultSeed
 	}
-	return sim.Config{Trials: trials, Seed: seed, Workers: workers, Obs: s.obs}, nil
+	return sim.Config{Trials: trials, Seed: seed, Workers: workers, Replicates: replicates, Obs: s.obs}, nil
 }
 
 // deadlineFor resolves a request's deadline_ms against the server's
@@ -122,12 +129,16 @@ func (s *Server) evaluateOne(ctx context.Context, inst engine.Instance, rule eng
 	dctx, cancel := context.WithTimeout(ctx, deadline)
 	defer cancel()
 	res, err := s.eng.EvaluateWithCtx(dctx, inst, rule, backend, simCfg)
-	if err == nil || !isDeadline(err) || backend == engine.MonteCarlo {
+	if err == nil || !isDeadline(err) || backend == engine.MonteCarlo || backend == engine.MonteCarloQMC {
 		return res, false, err
 	}
-	// Exact evaluation missed the budget: degrade to a fast Monte-Carlo
-	// estimate. The fallback gets its own (short) budget so a stuck
-	// simulation still cannot hold the connection forever.
+	// Exact evaluation missed the budget: degrade to a fast sampled
+	// estimate. Quasi-Monte-Carlo is tried first — at the degraded trial
+	// budget its replicate error is several times tighter than plain MC —
+	// and rules it cannot run (bespoke simulators, too many dimensions)
+	// fall back to the pseudo-random estimator. Each fallback gets its own
+	// (short) budget so a stuck simulation still cannot hold the
+	// connection forever.
 	s.obs.Counter("serve.degraded").Inc()
 	if sp := obs.SpanFromContext(ctx); sp != nil {
 		sp.SetAttr("degraded", 1)
@@ -136,6 +147,11 @@ func (s *Server) evaluateOne(ctx context.Context, inst engine.Instance, rule eng
 	mcCfg.Trials = s.cfg.DegradedTrials
 	fctx, fcancel := context.WithTimeout(ctx, deadline)
 	defer fcancel()
+	if qres, qerr := s.eng.EvaluateWithCtx(fctx, inst, rule, engine.MonteCarloQMC, mcCfg); qerr == nil {
+		return qres, true, nil
+	} else if isDeadline(qerr) {
+		return qres, true, qerr
+	}
 	res, err = s.eng.EvaluateWithCtx(fctx, inst, rule, engine.MonteCarlo, mcCfg)
 	return res, err == nil, err
 }
@@ -165,7 +181,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	simCfg, err := s.simConfigFor(req.Trials, req.Seed, req.Workers)
+	simCfg, err := s.simConfigFor(req.Trials, req.Seed, req.Workers, req.Replicates)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -195,6 +211,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Sim != nil {
 		resp.Trials = res.Sim.Trials
+		resp.Replicates = res.Sim.Replicates
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -236,7 +253,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	simCfg, err := s.simConfigFor(req.Trials, req.Seed, req.Workers)
+	simCfg, err := s.simConfigFor(req.Trials, req.Seed, req.Workers, 0)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -326,7 +343,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	simCfg, err := s.simConfigFor(req.Trials, req.Seed, req.Workers)
+	simCfg, err := s.simConfigFor(req.Trials, req.Seed, req.Workers, 0)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -437,7 +454,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	simCfg, err := s.simConfigFor(req.Trials, req.Seed, req.Workers)
+	simCfg, err := s.simConfigFor(req.Trials, req.Seed, req.Workers, 0)
 	if err != nil {
 		writeErr(w, err)
 		return

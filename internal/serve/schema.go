@@ -24,18 +24,23 @@ type EvalRequest struct {
 	// Param is the common threshold β (threshold) or bin-0 probability α
 	// (oblivious).
 	Param float64 `json:"param"`
-	// Backend is "exact", "mc" or "auto" (default "auto").
+	// Backend is "exact", "mc", "mc-qmc" or "auto" (default "auto").
 	Backend string `json:"backend,omitempty"`
-	// Trials overrides the Monte-Carlo trial count (mc backend).
+	// Trials overrides the sampled trial count (mc and mc-qmc backends).
 	Trials int `json:"trials,omitempty"`
 	// Seed seeds the Monte-Carlo streams; 0 selects the default seed 1
 	// (matching the CLI default, so canonical requests match CLI output).
 	Seed uint64 `json:"seed,omitempty"`
 	// Workers is the parallel worker count (0 = all cores).
 	Workers int `json:"workers,omitempty"`
+	// Replicates is the number of independently scrambled randomizations
+	// the mc-qmc backend averages (0 = the sim default, 16). Ignored by
+	// the other backends.
+	Replicates int `json:"replicates,omitempty"`
 	// DeadlineMS is the per-request budget in milliseconds; 0 selects the
 	// server default. When an exact evaluation misses the budget the
-	// response degrades to a Monte-Carlo estimate.
+	// response degrades to a sampled estimate (quasi-Monte-Carlo when the
+	// rule supports it, plain Monte-Carlo otherwise).
 	DeadlineMS int `json:"deadline_ms,omitempty"`
 }
 
@@ -52,6 +57,9 @@ type EvalResponse struct {
 	Cached   bool      `json:"cached"`
 	Degraded bool      `json:"degraded,omitempty"`
 	Trials   int64     `json:"trials,omitempty"`
+	// Replicates reports the mc-qmc randomization count (0 for the other
+	// backends).
+	Replicates int `json:"replicates,omitempty"`
 }
 
 // SweepRequest is the /v1/sweep body: one rule family evaluated on a

@@ -135,6 +135,56 @@ func TestEvalMonteCarlo(t *testing.T) {
 	}
 }
 
+// TestEvalQMC drives /v1/eval on the mc-qmc backend end to end: the
+// response carries the replicate count and a replicate-based stderr, a
+// worker-count change is a cache hit (QMC results are worker-
+// independent), and invalid replicate counts are 400s.
+func TestEvalQMC(t *testing.T) {
+	s, _, _ := newTestServer(t, Config{})
+	body := `{"n":3,"delta":1,"kind":"threshold","param":0.5,"backend":"mc-qmc","trials":16384,"seed":7,"replicates":8}`
+	rec := postJSON(t, s.Handler(), "/v1/eval", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp EvalResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Backend != "mc-qmc" || resp.Replicates != 8 || resp.StdErr <= 0 {
+		t.Errorf("unexpected mc-qmc response: %+v", resp)
+	}
+	if resp.Trials != 16384 {
+		t.Errorf("Trials = %d, want 16384 (replicates divide the budget evenly)", resp.Trials)
+	}
+	if resp.P <= 0 || resp.P >= 1 {
+		t.Errorf("P = %v out of (0,1)", resp.P)
+	}
+
+	other := `{"n":3,"delta":1,"kind":"threshold","param":0.5,"backend":"mc-qmc","trials":16384,"seed":7,"replicates":8,"workers":4}`
+	rec = postJSON(t, s.Handler(), "/v1/eval", other)
+	var again EvalResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("worker-count change should hit the worker-independent qmc cache slot")
+	}
+	if again.P != resp.P || again.StdErr != resp.StdErr {
+		t.Errorf("cached response %+v differs from first %+v", again, resp)
+	}
+
+	for _, bad := range []string{
+		`{"n":3,"delta":1,"kind":"threshold","param":0.5,"backend":"mc-qmc","replicates":-1}`,
+		`{"n":3,"delta":1,"kind":"threshold","param":0.5,"backend":"mc-qmc","trials":100,"replicates":200}`,
+		`{"n":3,"delta":1,"kind":"threshold","param":0.5,"backend":"mc-qmc","trials":1000,"replicates":1}`,
+	} {
+		rec := postJSON(t, s.Handler(), "/v1/eval", bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %s: status = %d, want 400 (%s)", bad, rec.Code, rec.Body.String())
+		}
+	}
+}
+
 // TestEvalErrors checks the stable error shape across rejection paths.
 func TestEvalErrors(t *testing.T) {
 	s, _, _ := newTestServer(t, Config{MaxBodyBytes: 256})
@@ -396,8 +446,10 @@ func (r *slowExact) ExactWinProbability(engine.Instance) (float64, error) {
 }
 
 // TestDegradation checks the deadline fallback: an exact evaluation that
-// misses its budget is answered by a Monte-Carlo estimate, the
-// serve.degraded counter bumps, and the request span carries degraded=1.
+// misses its budget is answered by a sampled estimate — quasi-Monte-Carlo
+// first, since its replicate error is tighter at the degraded budget —
+// the serve.degraded counter bumps, and the request span carries
+// degraded=1.
 func TestDegradation(t *testing.T) {
 	s, o, buf := newTestServer(t, Config{DegradedTrials: 5000})
 	rule := &slowExact{release: make(chan struct{})}
@@ -417,8 +469,11 @@ func TestDegradation(t *testing.T) {
 	if !degraded {
 		t.Fatal("evaluation should have degraded")
 	}
-	if res.Backend != engine.MonteCarlo || res.Sim == nil {
-		t.Errorf("degraded result should be Monte-Carlo: %+v", res)
+	if res.Backend != engine.MonteCarloQMC || res.Sim == nil {
+		t.Errorf("degraded result should be quasi-Monte-Carlo: %+v", res)
+	}
+	if res.Sim != nil && res.Sim.Replicates == 0 {
+		t.Errorf("degraded QMC result reports no replicates: %+v", res.Sim)
 	}
 	if res.P <= 0.4 || res.P >= 0.7 {
 		t.Errorf("degraded P = %v implausible for β=0.5, n=3, δ=1", res.P)
@@ -442,6 +497,46 @@ func TestDegradation(t *testing.T) {
 	}
 	if !sawDegraded {
 		t.Error("http.eval span_end missing degraded=1 attribute")
+	}
+}
+
+// slowExactSimulator is slowExact for a rule that also carries a bespoke
+// simulator: mc-qmc refuses such rules, so its degraded request must fall
+// through to the plain Monte-Carlo estimator.
+type slowExactSimulator struct{ slowExact }
+
+func (r *slowExactSimulator) Simulate(inst engine.Instance, cfg sim.Config) (sim.Result, error) {
+	sys, err := r.System(inst)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.WinProbability(sys, cfg)
+}
+
+// TestDegradationFallsBackToMC: when the preferred mc-qmc degraded path
+// is unavailable (Simulator-only rule), degradation still answers with a
+// plain Monte-Carlo estimate.
+func TestDegradationFallsBackToMC(t *testing.T) {
+	s, o, _ := newTestServer(t, Config{DegradedTrials: 5000})
+	rule := &slowExactSimulator{slowExact{release: make(chan struct{})}}
+	defer close(rule.release)
+	inst, err := problem.New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, degraded, err := s.evaluateOne(context.Background(), inst, rule, engine.Exact,
+		sim.Config{Trials: 5000, Seed: 1, Obs: o}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("degraded evaluation failed: %v", err)
+	}
+	if !degraded {
+		t.Fatal("evaluation should have degraded")
+	}
+	if res.Backend != engine.MonteCarlo || res.Sim == nil {
+		t.Errorf("degraded result should be plain Monte-Carlo: %+v", res)
+	}
+	if res.P <= 0.4 || res.P >= 0.7 {
+		t.Errorf("degraded P = %v implausible for β=0.5, n=3, δ=1", res.P)
 	}
 }
 

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+func qmcSystem(t *testing.T) *model.System {
+	t.Helper()
+	thr, err := model.NewThresholdRule(0.622)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obl, err := model.NewObliviousRule(0.37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr2, err := model.NewThresholdRule(0.31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := model.NewSystem([]model.LocalRule{thr, obl, thr2}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestWinProbabilityQMCWorkerIndependent pins the QMC contract the engine
+// cache relies on: replicates are deterministic functions of
+// (Seed, replicate index), so every worker count returns identical bits.
+func TestWinProbabilityQMCWorkerIndependent(t *testing.T) {
+	sys := qmcSystem(t)
+	var ref Result
+	for i, w := range []int{1, 2, 4, 7} {
+		res, err := WinProbabilityQMC(sys, Config{Trials: 1 << 14, Workers: w, Seed: 9})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res != ref {
+			t.Errorf("workers=%d: %+v differs from workers=1 %+v", w, res, ref)
+		}
+	}
+	if ref.Replicates != DefaultReplicates {
+		t.Errorf("Replicates = %d, want default %d", ref.Replicates, DefaultReplicates)
+	}
+	if ref.Trials != (1<<14/DefaultReplicates)*DefaultReplicates {
+		t.Errorf("Trials = %d, want replicate-rounded %d", ref.Trials, (1<<14/DefaultReplicates)*DefaultReplicates)
+	}
+}
+
+// TestWinProbabilityQMCSeedSensitivity: different seeds re-scramble every
+// replicate, so estimates (and stderr) should differ; same seed repeats.
+func TestWinProbabilityQMCSeedSensitivity(t *testing.T) {
+	sys := qmcSystem(t)
+	a1, err := WinProbabilityQMC(sys, Config{Trials: 1 << 13, Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := WinProbabilityQMC(sys, Config{Trials: 1 << 13, Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Errorf("same seed gave %+v then %+v", a1, a2)
+	}
+	b, err := WinProbabilityQMC(sys, Config{Trials: 1 << 13, Workers: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.P == b.P {
+		t.Errorf("seeds 5 and 6 produced identical estimates %v", a1.P)
+	}
+}
+
+// TestWinProbabilityQMCReplicateCI sanity-checks the replicate-based
+// interval: stderr positive and small at this budget, CI ordered, CI
+// containing P, and CI clamped to [0,1].
+func TestWinProbabilityQMCReplicateCI(t *testing.T) {
+	sys := qmcSystem(t)
+	res, err := WinProbabilityQMC(sys, Config{Trials: 1 << 14, Workers: 1, Seed: 1, Replicates: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replicates != 8 {
+		t.Errorf("Replicates = %d, want 8", res.Replicates)
+	}
+	if !(res.StdErr > 0) {
+		t.Errorf("StdErr = %v, want > 0", res.StdErr)
+	}
+	if res.StdErr > 0.01 {
+		t.Errorf("StdErr = %v, implausibly wide for 2^14 QMC trials", res.StdErr)
+	}
+	if !(res.CILo <= res.P && res.P <= res.CIHi) {
+		t.Errorf("CI [%v, %v] does not contain P=%v", res.CILo, res.CIHi, res.P)
+	}
+	if res.CILo < 0 || res.CIHi > 1 {
+		t.Errorf("CI [%v, %v] outside [0,1]", res.CILo, res.CIHi)
+	}
+}
+
+// nonBatchable hides BatchRule so the QMC entry's kernel check can fire.
+type nonBatchable struct{ r model.LocalRule }
+
+func (n nonBatchable) Decide(x float64, rng *rand.Rand) (model.Bin, error) {
+	return n.r.Decide(x, rng)
+}
+
+// TestWinProbabilityQMCValidation exercises every rejection path.
+func TestWinProbabilityQMCValidation(t *testing.T) {
+	sys := qmcSystem(t)
+	if _, err := WinProbabilityQMC(nil, Config{Trials: 1000}); err == nil {
+		t.Error("nil system accepted")
+	}
+	if _, err := WinProbabilityQMC(sys, Config{Trials: 1000, Replicates: 1}); err == nil {
+		t.Error("single replicate accepted (no stderr possible)")
+	}
+	if _, err := WinProbabilityQMC(sys, Config{Trials: 8, Replicates: 16}); err == nil {
+		t.Error("fewer trials than replicates accepted")
+	}
+	if _, err := WinProbabilityQMC(sys, Config{Trials: -1}); err == nil {
+		t.Error("negative trials accepted")
+	}
+
+	thr, err := model.NewThresholdRule(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := model.UniformSystem(MaxQMCDims+1, thr, float64(MaxQMCDims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WinProbabilityQMC(wide, Config{Trials: 1000}); err == nil {
+		t.Error("system beyond the Sobol dimension table accepted")
+	} else if !strings.Contains(err.Error(), "dimensions") {
+		t.Errorf("dimension error reads %q", err)
+	}
+
+	plain, err := model.NewSystem([]model.LocalRule{nonBatchable{thr}, nonBatchable{thr}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WinProbabilityQMC(plain, Config{Trials: 1000}); err == nil {
+		t.Error("non-batchable system accepted by the kernel-only QMC path")
+	}
+}
+
+// TestWinProbabilityQMCObserved checks the span and counters emitted by a
+// QMC run.
+func TestWinProbabilityQMCObserved(t *testing.T) {
+	sys := qmcSystem(t)
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	o := obs.New(reg, obs.NewSink(&buf))
+	res, err := WinProbabilityQMC(sys, Config{Trials: 1 << 12, Workers: 2, Seed: 3, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sim.trials").Value(); got != res.Trials {
+		t.Errorf("sim.trials = %d, want %d", got, res.Trials)
+	}
+	if got := reg.Counter("sim.wins").Value(); got != res.Wins {
+		t.Errorf("sim.wins = %d, want %d", got, res.Wins)
+	}
+	if got := reg.Counter("sim.qmc_replicates").Value(); got != int64(res.Replicates) {
+		t.Errorf("sim.qmc_replicates = %d, want %d", got, res.Replicates)
+	}
+	evs, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range evs {
+		if e.Type == obs.EventSpanEnd && e.Name == "sim.win_probability_qmc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no sim.win_probability_qmc span in the event stream")
+	}
+}
+
+// TestWinProbabilityQMCAgreesWithMC: the two estimators target the same
+// integral, so at matched budgets they must agree within joint error.
+func TestWinProbabilityQMCAgreesWithMC(t *testing.T) {
+	sys := qmcSystem(t)
+	mc, err := WinProbability(sys, Config{Trials: 400_000, Workers: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qmc, err := WinProbabilityQMC(sys, Config{Trials: 1 << 16, Workers: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 5 * math.Hypot(mc.StdErr, qmc.StdErr)
+	if diff := math.Abs(mc.P - qmc.P); diff > tol {
+		t.Errorf("MC %v vs QMC %v differ by %v > %v", mc.P, qmc.P, diff, tol)
+	}
+}

@@ -60,6 +60,11 @@ type Config struct {
 	// + Wilson CI) every k trials when Obs is enabled. 0 picks
 	// Trials/defaultCheckpoints; ignored without Obs.
 	CheckpointEvery int
+	// Replicates is the number of independently scrambled randomizations
+	// the quasi-Monte-Carlo path (WinProbabilityQMC) averages to form its
+	// estimate and standard error; 0 selects DefaultReplicates. Ignored by
+	// the pseudo-random paths.
+	Replicates int
 }
 
 func (c Config) validate() (Config, error) {
@@ -132,12 +137,17 @@ func (c *countingSource) Uint64() uint64 {
 type Result struct {
 	// P is the estimated probability.
 	P float64
-	// StdErr is the binomial standard error.
+	// StdErr is the binomial standard error on the pseudo-random paths,
+	// or the randomized-replicate standard error on the QMC path.
 	StdErr float64
-	// CILo and CIHi bound the 95% Wilson confidence interval.
+	// CILo and CIHi bound the 95% confidence interval: Wilson for the
+	// pseudo-random paths, Student-t over replicate means for QMC.
 	CILo, CIHi float64
 	// Wins and Trials are the raw counts.
 	Wins, Trials int64
+	// Replicates is the number of QMC randomizations averaged; 0 on the
+	// pseudo-random paths.
+	Replicates int
 }
 
 func resultFrom(p stats.Proportion) (Result, error) {
@@ -349,6 +359,20 @@ func runBatch(cfg Config, name string, k *model.BatchKernel) (Result, error) {
 	if cfg.Obs.Enabled() {
 		return runBatchObserved(cfg, name, k)
 	}
+	if cfg.Workers == 1 {
+		// Single-worker runs skip the fan-out scaffolding (WaitGroup,
+		// goroutine closure, per-worker slices). Seeding and quota are the
+		// worker-0 values of the general path, so results stay
+		// bit-identical to a one-goroutine fan-out.
+		var total stats.Proportion
+		runLabeled(0, func() {
+			err = batchWorker(cfg, k, 0, cfg.Trials, &total)
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		return resultFrom(total)
+	}
 	counters := make([]stats.Proportion, cfg.Workers)
 	errs := make([]error, cfg.Workers)
 	var wg sync.WaitGroup
@@ -357,20 +381,7 @@ func runBatch(cfg Config, name string, k *model.BatchKernel) (Result, error) {
 		go func(w, quota int) {
 			defer wg.Done()
 			runLabeled(w, func() {
-				rng := cfg.workerRNG(w)
-				sc := model.GetBatchScratch()
-				defer sc.Release()
-				var wins, trials int64
-				for done := 0; done < quota; {
-					b := batchSize
-					if quota-done < b {
-						b = quota - done
-					}
-					wins += int64(k.Play(sc, rng, b))
-					trials += int64(b)
-					done += b
-				}
-				errs[w] = counters[w].AddN(wins, trials)
+				errs[w] = batchWorker(cfg, k, w, quota, &counters[w])
 			})
 		}(w, splitQuota(cfg.Trials, cfg.Workers, w))
 	}
@@ -385,6 +396,26 @@ func runBatch(cfg Config, name string, k *model.BatchKernel) (Result, error) {
 		total.Merge(c)
 	}
 	return resultFrom(total)
+}
+
+// batchWorker plays worker w's quota of trials through the kernel from
+// pooled scratch, accumulating wins into out. It is the shared body of
+// runBatch's inline single-worker path and its goroutine fan-out.
+func batchWorker(cfg Config, k *model.BatchKernel, w, quota int, out *stats.Proportion) error {
+	src := cfg.workerSource(w)
+	sc := model.GetBatchScratch()
+	defer sc.Release()
+	var wins, trials int64
+	for done := 0; done < quota; {
+		b := batchSize
+		if quota-done < b {
+			b = quota - done
+		}
+		wins += int64(k.PlaySrc(sc, src, b))
+		trials += int64(b)
+		done += b
+	}
+	return out.AddN(wins, trials)
 }
 
 // runBatchObserved is the instrumented twin of runBatch: worker counters
@@ -409,7 +440,6 @@ func runBatchObserved(cfg Config, name string, k *model.BatchKernel) (Result, er
 				sp := root.Child(fmt.Sprintf("worker[%d]", w))
 				defer sp.End()
 				src := &countingSource{src: cfg.workerSource(w)}
-				rng := rand.New(src)
 				sc := model.GetBatchScratch()
 				defer sc.Release()
 				start := time.Now()
@@ -419,7 +449,7 @@ func runBatchObserved(cfg Config, name string, k *model.BatchKernel) (Result, er
 					if quota-done < b {
 						b = quota - done
 					}
-					wins += int64(k.Play(sc, rng, b))
+					wins += int64(k.PlaySrc(sc, src, b))
 					trials += int64(b)
 					done += b
 					for _, win := range sc.Wins()[:b] {
