@@ -16,7 +16,7 @@ LABEL ?= dev
 
 # Benchmark-regression gate: `make bench-check` compares labeled snapshot
 # pairs already recorded in BENCH_sim.json and fails on >10% regressions
-# in ns/op. Five pairs are gated: the batched Monte-Carlo kernel
+# in ns/op. The gated pairs: the batched Monte-Carlo kernel
 # (BENCH_BASE→BENCH_HEAD), the exact backend's subset-enumeration
 # benchmarks (BENCH_BASE2→BENCH_HEAD2, the pre-exact snapshot holds only
 # the BenchmarkExact* series), the HTTP serving layer
@@ -49,9 +49,16 @@ BENCH_HEAD6 ?= kernel-head
 # precision. Re-record both with `make bench-qmc-json`.
 BENCH_BASE7 ?= qmc-baseline
 BENCH_HEAD7 ?= qmc-head
+# Tiered-store warm-restart pair: the same restarted-server /v1/eval of a
+# previously-computed exact result, recorded cold (empty cache directory,
+# full recompute every iteration) and warm (seeded disk tier); the gate
+# requires the warm restart to be ≥10x faster. Re-record both with
+# `make bench-store-json`.
+BENCH_BASE8 ?= store-baseline
+BENCH_HEAD8 ?= store-head
 BENCH_CHECK ?= 1
 
-.PHONY: build test race vet bench bench-json bench-serve-json bench-kernel-json bench-qmc-json bench-check ci
+.PHONY: build test race vet bench bench-json bench-serve-json bench-kernel-json bench-qmc-json bench-store-json bench-check ci
 
 build:
 	$(GO) build ./...
@@ -60,7 +67,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/qrand/... ./internal/sim/... ./internal/obs/... ./internal/engine/... ./internal/optimize/... ./internal/serve/... ./internal/nonoblivious/... ./internal/oblivious/...
+	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/qrand/... ./internal/sim/... ./internal/obs/... ./internal/store/... ./internal/engine/... ./internal/optimize/... ./internal/serve/... ./internal/nonoblivious/... ./internal/oblivious/...
 
 vet:
 	$(GO) vet ./...
@@ -86,6 +93,13 @@ bench-qmc-json:
 	NOCOMM_PRECISION_SAMPLER=mc $(GO) test -run '^$$' -bench BenchmarkTrialsToPrecision -benchtime 1x ./internal/sim/ | $(GO) run ./cmd/benchjson -label $(BENCH_BASE7) -out BENCH_sim.json
 	$(GO) test -run '^$$' -bench BenchmarkTrialsToPrecision -benchtime 1x ./internal/sim/ | $(GO) run ./cmd/benchjson -label $(BENCH_HEAD7) -out BENCH_sim.json
 
+# Record both sides of the warm-restart pair: cold restarts (every
+# iteration recomputes into an empty cache directory) then warm restarts
+# (every iteration fills from the seeded disk tier).
+bench-store-json:
+	NOCOMM_STORE_BENCH=cold $(GO) test -run '^$$' -bench '^BenchmarkWarmRestartEval$$' -benchmem -benchtime=$(BENCHTIME) ./internal/serve/ | $(GO) run ./cmd/benchjson -label $(BENCH_BASE8) -out BENCH_serve.json
+	$(GO) test -run '^$$' -bench '^BenchmarkWarmRestartEval$$' -benchmem -benchtime=$(BENCHTIME) ./internal/serve/ | $(GO) run ./cmd/benchjson -label $(BENCH_HEAD8) -out BENCH_serve.json
+
 bench-check:
 ifeq ($(BENCH_CHECK),0)
 	@echo "bench-check: skipped (BENCH_CHECK=0)"
@@ -98,6 +112,7 @@ else
 	$(GO) run ./cmd/benchjson -check $(BENCH_BASE6),$(BENCH_HEAD6)
 	$(GO) run ./cmd/benchjson -check $(BENCH_BASE6),$(BENCH_HEAD6) -match '^BenchmarkBatchKernel$$' -improve 1.5
 	$(GO) run ./cmd/benchjson -check $(BENCH_BASE7),$(BENCH_HEAD7) -improve 4
+	$(GO) run ./cmd/benchjson -out BENCH_serve.json -check $(BENCH_BASE8),$(BENCH_HEAD8) -improve 10
 endif
 
 ci: build vet test race bench-check

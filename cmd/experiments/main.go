@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/problem"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func run(args []string) (err error) {
 	backend := fs.String("backend", "auto", "evaluation backend: exact, mc, mc-qmc or auto")
 	replicates := fs.Int("replicates", 0, "scrambled randomizations per estimate (mc-qmc backend, 0 = default 16)")
 	piStr := fs.String("pi", "", "comma-separated per-player input ranges π_i for experiments that accept heterogeneous instances (e.g. T10)")
+	cacheDir := fs.String("cache-dir", "", "persistent result-cache directory (empty = in-memory cache only)")
 	obsPath := fs.String("obs", "", "append a JSONL observability run log to this file")
 	metrics := fs.Bool("metrics", false, "print a JSON metrics snapshot on exit")
 	if err := fs.Parse(args); err != nil {
@@ -75,11 +77,16 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	st, err := store.New(store.Options{Dir: *cacheDir, Obs: o})
+	if err != nil {
+		return err
+	}
 	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers, Replicates: *replicates, Obs: o}
 	// One shared engine so evaluations repeated across experiments (e.g. the
 	// same (n, δ, rule) point appearing in a figure and a table) are served
 	// from the memoization cache, and so -metrics shows one hit/miss tally.
-	eng := engine.New(engine.Config{Sim: cfg, Obs: o, ExactWorkers: cfg.Workers})
+	// With -cache-dir the cache additionally persists across runs.
+	eng := engine.New(engine.Config{Sim: cfg, Obs: o, ExactWorkers: cfg.Workers, Store: st})
 	params := harness.Params{Points: *points, Sim: cfg, Backend: b, Pi: pi, Engine: eng}
 	var summary strings.Builder
 	for _, id := range harness.IDs() {

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// cmdCache inspects (or purges) a persistent result-cache directory —
+// the disk tier the other subcommands fill through -cache-dir.
+//
+//	nocomm cache -cache-dir results.cache          print stats
+//	nocomm cache -cache-dir results.cache -purge   delete every entry
+func cmdCache(g *obsFlags, args []string) (err error) {
+	fs := flag.NewFlagSet("cache", flag.ContinueOnError)
+	g.register(fs)
+	dir := fs.String("cache-dir", "", "persistent result-cache directory to inspect")
+	purge := fs.Bool("purge", false, "delete every cached entry (and the quarantine) instead of printing stats")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("cache needs -cache-dir (the directory other subcommands filled via -cache-dir)")
+	}
+	sess, err := g.start()
+	if err != nil {
+		return err
+	}
+	defer sess.finish(&err)
+	d, err := store.OpenDisk(*dir, sess.observer)
+	if err != nil {
+		return err
+	}
+	if *purge {
+		entries, bytes, err := d.Purge()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("purged %d entries (%d bytes) from %s\n", entries, bytes, *dir)
+		return nil
+	}
+	st := d.Stats()
+	fmt.Printf("cache %s\n", st.Dir)
+	fmt.Printf("  entries: %d\n", st.Entries)
+	fmt.Printf("  bytes:   %d\n", st.Bytes)
+	if ratio, ok := st.HitRatio(); ok {
+		fmt.Printf("  hit ratio: %.3f (%d hits / %d lookups since open)\n", ratio, st.Hits, st.Hits+st.Misses)
+	} else {
+		fmt.Printf("  hit ratio: n/a (no lookups since open)\n")
+	}
+	return nil
+}

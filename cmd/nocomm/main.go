@@ -12,6 +12,7 @@
 //	nocomm figure   F1 [-points 201] [-backend auto] [-svg f1.svg] [-csv f1.csv]
 //	nocomm table    T2 [-trials 200000] [-backend auto] [-csv t2.csv]
 //	nocomm serve    [-addr 127.0.0.1:8080] [-deadline 10s] [-pprof]
+//	nocomm cache    -cache-dir results.cache [-purge]
 //	nocomm metrics  run.jsonl
 //	nocomm list
 //
@@ -34,6 +35,11 @@
 //
 // When -pi is given and -n is left unset, n follows the length of the π
 // vector.
+//
+// eval, optimize, figure, table and serve accept -cache-dir, a persistent
+// result-cache directory (the disk tier of the engine's store): results
+// computed in one run are served from disk in the next, and `nocomm
+// cache` inspects or purges the directory.
 //
 // Every workload subcommand also accepts the global observability flags
 // (before or after the subcommand name):
@@ -66,11 +72,12 @@ import (
 	"repro/internal/obs"
 	"repro/internal/problem"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // subcommandList names every subcommand; keep the usage error, the help
 // output, and the dispatch switch in sync.
-const subcommandList = "eval, optimize, simulate, certify, figure, table, serve, metrics, list"
+const subcommandList = "eval, optimize, simulate, certify, figure, table, serve, cache, metrics, list"
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -103,6 +110,8 @@ func run(args []string) error {
 		return cmdTable(g, rest[1:])
 	case "serve":
 		return cmdServe(g, rest[1:])
+	case "cache":
+		return cmdCache(g, rest[1:])
 	case "certify":
 		return cmdCertify(g, rest[1:])
 	case "metrics":
@@ -246,6 +255,20 @@ func piFlag(fs *flag.FlagSet) *string {
 	return fs.String("pi", "", "comma-separated per-player input ranges π_i (heterogeneous x_i ~ U[0, π_i]; sets n when -n is unset)")
 }
 
+// cacheDirFlag registers the shared -cache-dir flag for subcommands that
+// evaluate through the engine: when set, the engine's result store gains
+// a content-addressed disk tier in that directory, so expensive results
+// survive across runs.
+func cacheDirFlag(fs *flag.FlagSet) *string {
+	return fs.String("cache-dir", "", "persistent result-cache directory (empty = in-memory cache only)")
+}
+
+// storeFor opens the engine's result store: disk-tiered when dir is
+// non-empty, memory-only otherwise.
+func storeFor(dir string, o *obs.Observer) (store.Store, error) {
+	return store.New(store.Options{Dir: dir, Obs: o})
+}
+
 // resolveInstance builds the instance from -n/-delta/-pi after fs has
 // been parsed. When -pi is given and -n was left at its default, the
 // player count follows the length of the π vector.
@@ -291,6 +314,7 @@ func cmdEval(g *obsFlags, args []string) (err error) {
 	seed := fs.Uint64("seed", 1, "random seed (mc / mc-qmc backends)")
 	workers := fs.Int("workers", 0, "parallel workers (mc backend, 0 = all cores)")
 	replicates := fs.Int("replicates", 0, "scrambled randomizations (mc-qmc backend, 0 = default 16)")
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -316,8 +340,12 @@ func cmdEval(g *obsFlags, args []string) (err error) {
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
+	st, err := storeFor(*cacheDir, sess.observer)
+	if err != nil {
+		return err
+	}
 	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers, Replicates: *replicates, Obs: sess.observer}
-	eng := engine.New(engine.Config{Sim: cfg, Obs: sess.observer, ExactWorkers: cfg.Workers})
+	eng := engine.New(engine.Config{Sim: cfg, Obs: sess.observer, ExactWorkers: cfg.Workers, Store: st})
 	sp := sess.observer.StartSpan("eval")
 	res, err := eng.Evaluate(inst.EngineInstance(), rule, b)
 	sp.End()
@@ -355,6 +383,7 @@ func cmdOptimize(g *obsFlags, args []string) (err error) {
 	grid := fs.Int("grid", engine.DefaultOptimizeGrid, "scalar search grid resolution")
 	tol := fs.Float64("tol", engine.DefaultOptimizeTol, "search tolerance")
 	passes := fs.Int("passes", 0, "vector coordinate-ascent pass cap (0 = default)")
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -376,8 +405,12 @@ func cmdOptimize(g *obsFlags, args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	st, err := storeFor(*cacheDir, o)
+	if err != nil {
+		return err
+	}
 	cfg := sim.Config{Trials: *trials, Seed: *seed, Workers: *workers, Obs: o}
-	eng := engine.New(engine.Config{Sim: cfg, Obs: o, ExactWorkers: *workers})
+	eng := engine.New(engine.Config{Sim: cfg, Obs: o, ExactWorkers: *workers, Store: st})
 	opts := engine.OptimizeOptions{Backend: b, Sim: cfg, GridPoints: *grid, Tol: *tol, Passes: *passes}
 	sp := o.StartSpan("optimize")
 	defer sp.End()
@@ -586,6 +619,7 @@ func cmdFigure(g *obsFlags, args []string) (err error) {
 	workers := fs.Int("workers", 0, "sweep workers (0 = all cores)")
 	svgPath := fs.String("svg", "", "write SVG to this path")
 	csvPath := fs.String("csv", "", "write CSV to this path")
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -605,11 +639,19 @@ func cmdFigure(g *obsFlags, args []string) (err error) {
 	if exp.Kind != harness.KindFigure {
 		return fmt.Errorf("%s is not a figure", id)
 	}
-	out, err := exp.Run(sess.observer, harness.Params{
+	p := harness.Params{
 		Points:  *points,
 		Sim:     sim.Config{Trials: *trials, Seed: *seed, Workers: *workers},
 		Backend: b,
-	})
+	}
+	if *cacheDir != "" {
+		st, err := storeFor(*cacheDir, sess.observer)
+		if err != nil {
+			return err
+		}
+		p.Engine = engine.New(engine.Config{Sim: p.Sim, Obs: sess.observer, ExactWorkers: *workers, Store: st})
+	}
+	out, err := exp.Run(sess.observer, p)
 	if err != nil {
 		return err
 	}
@@ -656,6 +698,7 @@ func cmdTable(g *obsFlags, args []string) (err error) {
 	backend := fs.String("backend", "auto", "evaluation backend: exact, mc, mc-qmc or auto")
 	piStr := fs.String("pi", "", "comma-separated per-player input ranges π_i (experiments that accept heterogeneous instances, e.g. T10)")
 	csvPath := fs.String("csv", "", "write CSV to this path")
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -679,11 +722,19 @@ func cmdTable(g *obsFlags, args []string) (err error) {
 	if exp.Kind != harness.KindTable {
 		return fmt.Errorf("%s is not a table", id)
 	}
-	out, err := exp.Run(sess.observer, harness.Params{
+	p := harness.Params{
 		Sim:     sim.Config{Trials: *trials, Seed: *seed, Workers: *workers},
 		Backend: b,
 		Pi:      pi,
-	})
+	}
+	if *cacheDir != "" {
+		st, err := storeFor(*cacheDir, sess.observer)
+		if err != nil {
+			return err
+		}
+		p.Engine = engine.New(engine.Config{Sim: p.Sim, Obs: sess.observer, ExactWorkers: *workers, Store: st})
+	}
+	out, err := exp.Run(sess.observer, p)
 	if err != nil {
 		return err
 	}

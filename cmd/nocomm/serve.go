@@ -47,6 +47,7 @@ func cmdServe(g *obsFlags, args []string) (err error) {
 	deadline := fs.Duration("deadline", serve.DefaultDeadline, "per-request evaluation budget (requests may shorten, never extend)")
 	maxN := fs.Int("max-n", serve.DefaultMaxN, "largest accepted player count")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -69,9 +70,16 @@ func cmdServe(g *obsFlags, args []string) (err error) {
 	stopCollector := obs.StartRuntimeCollector(o, 10*time.Second)
 	defer stopCollector()
 
+	// With -cache-dir the engine's result store gains a disk tier, so a
+	// restarted server answers previously-computed evaluations from disk
+	// (and /readyz reports what it inherited).
+	st, err := storeFor(*cacheDir, o)
+	if err != nil {
+		return err
+	}
 	srv := serve.New(serve.Config{
 		Obs:            o,
-		Engine:         engine.New(engine.Config{Obs: o}),
+		Engine:         engine.New(engine.Config{Obs: o, Store: st}),
 		Trials:         *trials,
 		DegradedTrials: *degradedTrials,
 		Deadline:       *deadline,

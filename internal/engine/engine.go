@@ -31,11 +31,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/problem"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Instance is the canonical problem instance: N players with inputs
@@ -135,6 +135,12 @@ type Config struct {
 	// implementing ExactOpts. 0 selects the repo-wide default
 	// (sim.WorkerCount: GOMAXPROCS), clamped to the 64-chunk shard grid.
 	ExactWorkers int
+	// Store is the tiered result store backing the memoization cache.
+	// Nil selects a private, unbounded memory store — the engine's
+	// original process-local behavior. Supplying a disk-tiered store
+	// (store.New with Options.Dir) makes expensive results survive
+	// restarts and lets replicas share a cache directory.
+	Store store.Store
 }
 
 // DefaultTrials is the Monte-Carlo trial count used when neither the
@@ -142,28 +148,14 @@ type Config struct {
 const DefaultTrials = 200_000
 
 // Engine evaluates rules on instances through pluggable backends behind a
-// concurrency-safe memoization cache. The zero value is not usable; use
-// New.
+// concurrency-safe memoization cache (a store.Store: singleflight memory
+// tier, optional content-addressed disk tier). The zero value is not
+// usable; use New.
 type Engine struct {
 	simCfg       sim.Config
 	obs          *obs.Observer
 	exactWorkers int
-
-	mu      sync.Mutex
-	entries map[string]*entry
-}
-
-// entry is one cache slot. The sync.Once gives singleflight semantics:
-// concurrent identical evaluations share one computation, and every later
-// caller observes the same bits. done flips after the computation
-// finishes, distinguishing a warm cache hit from a coalesced join onto an
-// in-flight computation (the engine.cache.coalesced counter) and letting
-// deadline-aware callers skip the watchdog goroutine on warm entries.
-type entry struct {
-	once sync.Once
-	done atomic.Bool
-	res  Result
-	err  error
+	store        store.Store
 }
 
 // New builds an engine.
@@ -171,7 +163,11 @@ func New(cfg Config) *Engine {
 	if cfg.Sim.Trials <= 0 {
 		cfg.Sim.Trials = DefaultTrials
 	}
-	return &Engine{simCfg: cfg.Sim, obs: cfg.Obs, exactWorkers: cfg.ExactWorkers, entries: make(map[string]*entry)}
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMemory(store.Options{Obs: cfg.Obs})
+	}
+	return &Engine{simCfg: cfg.Sim, obs: cfg.Obs, exactWorkers: cfg.ExactWorkers, store: st}
 }
 
 var (
@@ -192,11 +188,11 @@ func Default() *Engine {
 func (e *Engine) SimConfig() sim.Config { return e.simCfg }
 
 // CacheLen reports the number of memoized evaluations.
-func (e *Engine) CacheLen() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.entries)
-}
+func (e *Engine) CacheLen() int { return e.store.Len() }
+
+// ResultStore returns the engine's result store, exposing its stats (and
+// disk tier, when one is configured) to the layers above.
+func (e *Engine) ResultStore() store.Store { return e.store }
 
 // Evaluate evaluates the rule on the instance with the engine's default
 // Monte-Carlo configuration.
@@ -277,14 +273,8 @@ func (e *Engine) EvaluateWithCtx(ctx context.Context, inst Instance, r Rule, bac
 			",r=" + strconv.Itoa(simCfg.Replicates)
 	}
 
-	e.mu.Lock()
-	ent, ok := e.entries[key]
-	if !ok {
-		ent = &entry{}
-		e.entries[key] = ent
-	}
-	e.mu.Unlock()
-	joined := ok && !ent.done.Load()
+	slot, ok := e.store.Acquire(key)
+	joined := ok && !slot.Done()
 
 	var sp *obs.Span
 	if parent := obs.SpanFromContext(ctx); parent != nil {
@@ -297,15 +287,18 @@ func (e *Engine) EvaluateWithCtx(ctx context.Context, inst Instance, r Rule, bac
 
 	computed := false
 	work := func() {
-		ent.once.Do(func() {
+		slot.Fill(func() (store.Value, error) {
 			computed = true
 			e.obs.Counter("engine.cache.misses").Inc()
-			ent.res, ent.err = e.compute(ctx, inst, r, resolved, simCfg)
-			ent.done.Store(true)
+			res, err := e.compute(ctx, inst, r, resolved, simCfg)
+			if err != nil {
+				return store.Value{}, err
+			}
+			return store.Value{P: res.P, StdErr: res.StdErr, Backend: res.Backend.String(), Sim: res.Sim}, nil
 		})
 	}
-	if ctx.Done() == nil || ent.done.Load() {
-		// No deadline to watch (or the entry is already warm, so once.Do
+	if ctx.Done() == nil || slot.Done() {
+		// No deadline to watch (or the slot is already warm, so Fill
 		// returns without blocking): run inline, no goroutine overhead.
 		work()
 	} else {
@@ -322,21 +315,42 @@ func (e *Engine) EvaluateWithCtx(ctx context.Context, inst Instance, r Rule, bac
 			return Result{}, ctx.Err()
 		}
 	}
-	if ent.err != nil {
-		return Result{}, ent.err
+	val, err := slot.Result()
+	if err != nil {
+		return Result{}, err
 	}
-	res := ent.res
-	if res.Sim != nil {
-		cp := *res.Sim
-		res.Sim = &cp
+	res, err := resultFromValue(val)
+	if err != nil {
+		return Result{}, err
 	}
 	if !computed {
+		// A slot filled from the disk tier counts as a cache hit: the
+		// value was served from the store, not recomputed — no backend
+		// ran, no engine.evals.* counter moved.
 		if joined {
 			e.obs.Counter("engine.cache.coalesced").Inc()
 		}
 		e.obs.Counter("engine.cache.hits").Inc()
 		res.Cached = true
 		sp.SetAttr("cached", 1)
+		if slot.FromDisk() {
+			sp.SetAttr("store.fill", 1)
+		}
+	}
+	return res, nil
+}
+
+// resultFromValue rehydrates an engine Result from its store encoding,
+// copying the Sim payload so callers can never alias the cached value.
+func resultFromValue(v store.Value) (Result, error) {
+	b, err := ParseBackend(v.Backend)
+	if err != nil {
+		return Result{}, fmt.Errorf("engine: cached value from incompatible store: %w", err)
+	}
+	res := Result{P: v.P, StdErr: v.StdErr, Backend: b}
+	if v.Sim != nil {
+		cp := *v.Sim
+		res.Sim = &cp
 	}
 	return res, nil
 }

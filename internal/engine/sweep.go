@@ -53,12 +53,72 @@ func (e *Engine) SweepCtx(ctx context.Context, points []Point, opts SweepOptions
 	if len(points) == 0 {
 		return nil, nil
 	}
-	workers, err := sim.WorkerCount(opts.Workers, len(points))
-	if err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
-	}
 	results := make([]Result, len(points))
 	errs := make([]error, len(points))
+	if err := e.sweepInto(ctx, points, results, errs, opts); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: sweep point %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// SweepChunksCtx evaluates the grid chunk by chunk, calling emit after
+// each chunk completes with the chunk's starting point index and its
+// results. It is the streaming seam under /v1/sweep: the first chunk is
+// emitted as soon as it finishes, long before the last shard of a large
+// grid runs. chunk <= 0 sweeps the whole grid as one chunk. The results
+// slice passed to emit is reused across chunks — emit must encode or
+// copy, never retain it. Errors keep sweep semantics per chunk: the
+// lowest-indexed failing point aborts the stream, its index global to
+// the grid. A non-nil error from emit aborts the sweep.
+func (e *Engine) SweepChunksCtx(ctx context.Context, points []Point, opts SweepOptions, chunk int, emit func(start int, results []Result) error) error {
+	if len(points) == 0 {
+		return nil
+	}
+	if chunk <= 0 || chunk > len(points) {
+		chunk = len(points)
+	}
+	results := make([]Result, chunk)
+	errs := make([]error, chunk)
+	for start := 0; start < len(points); start += chunk {
+		end := start + chunk
+		if end > len(points) {
+			end = len(points)
+		}
+		n := end - start
+		if err := e.sweepInto(ctx, points[start:end], results[:n], errs[:n], opts); err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i, err := range errs[:n] {
+			if err != nil {
+				return fmt.Errorf("engine: sweep point %d: %w", start+i, err)
+			}
+		}
+		if err := emit(start, results[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepInto shards points across workers with an atomic cursor, writing
+// into caller-owned results/errs slices (len(points) each) so chunked
+// sweeps can reuse their buffers.
+func (e *Engine) sweepInto(ctx context.Context, points []Point, results []Result, errs []error, opts SweepOptions) error {
+	workers, err := sim.WorkerCount(opts.Workers, len(points))
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -78,13 +138,5 @@ func (e *Engine) SweepCtx(ctx context.Context, points []Point, opts SweepOptions
 		}()
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("engine: sweep point %d: %w", i, err)
-		}
-	}
-	return results, nil
+	return nil
 }

@@ -365,7 +365,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
-	results, err := s.eng.SweepCtx(ctx, points, engine.SweepOptions{Backend: backend, Workers: req.Workers, Sim: simCfg})
+	opts := engine.SweepOptions{Backend: backend, Workers: req.Workers, Sim: simCfg}
+	if req.Stream {
+		s.streamSweep(ctx, w, req, inst, params, points, opts)
+		return
+	}
+	results, err := s.eng.SweepCtx(ctx, points, opts)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -490,7 +495,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is the readiness probe: 200 once the warmup canary (one
-// trivial exact evaluation through the full stack) has completed.
+// trivial exact evaluation through the full stack) has completed. With a
+// disk-tiered result store the body additionally reports the tier's
+// stats, so a warm-started replica shows at a glance what it inherited.
+// Without one the body is exactly "ready\n", byte-compatible with probes
+// written before the store existed.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if !s.ready.Load() {
@@ -499,6 +508,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	io.WriteString(w, "ready\n")
+	if d := s.eng.ResultStore().Stats().Disk; d != nil {
+		fmt.Fprintf(w, "store.disk.dir %s\n", d.Dir)
+		fmt.Fprintf(w, "store.disk.entries %d\n", d.Entries)
+		fmt.Fprintf(w, "store.disk.bytes %d\n", d.Bytes)
+		fmt.Fprintf(w, "store.disk.hits %d\n", d.Hits)
+		fmt.Fprintf(w, "store.disk.misses %d\n", d.Misses)
+	}
 }
 
 // handleMetrics serves the live registry in the Prometheus text

@@ -32,6 +32,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so streaming handlers (the
+// NDJSON sweep) can push each chunk onto the wire as it completes.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps an endpoint handler with the server's observability:
 //
 //   - a request id, minted per request and echoed in X-Request-Id;

@@ -80,6 +80,33 @@ type SweepRequest struct {
 	// DeadlineMS bounds the whole sweep; an expired budget aborts with
 	// 503 (sweeps do not degrade point-by-point).
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Stream switches the response to chunked NDJSON: one header line,
+	// then one chunk line per ChunkSize evaluated points, each flushed as
+	// soon as its chunk completes — the first results arrive long before
+	// a large grid finishes. Errors after the header surface as a final
+	// {"error": ...} line (the HTTP status is already on the wire).
+	Stream bool `json:"stream,omitempty"`
+	// ChunkSize is the points-per-line granularity of a streamed sweep
+	// (0 = DefaultSweepChunk). Ignored unless Stream is set.
+	ChunkSize int `json:"chunk_size,omitempty"`
+}
+
+// SweepStreamHeader is the first NDJSON line of a streamed sweep: the
+// grid's shape, so consumers can pre-size before any chunk arrives.
+type SweepStreamHeader struct {
+	N      int       `json:"n"`
+	Delta  float64   `json:"delta"`
+	Pi     []float64 `json:"pi,omitempty"`
+	Kind   string    `json:"kind"`
+	Points int       `json:"points"`
+	Chunk  int       `json:"chunk"`
+}
+
+// SweepStreamChunk is one NDJSON chunk line: a contiguous run of
+// evaluated points starting at the given grid index.
+type SweepStreamChunk struct {
+	Start  int          `json:"start"`
+	Points []SweepPoint `json:"points"`
 }
 
 // SweepPoint is one evaluated cell of a sweep response.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Defaults for the Config knobs; every limit is overridable per server.
@@ -44,6 +45,12 @@ type Config struct {
 	// Engine is the evaluation engine (shared memoization cache). Nil
 	// builds a private engine wired to Obs.
 	Engine *engine.Engine
+	// CacheDir enables the result store's disk tier for the private
+	// engine built when Engine is nil: evaluations computed before a
+	// restart are served from disk after it (warm start). Ignored when
+	// Engine is supplied — wire the store into the engine instead. An
+	// unopenable directory falls back to memory-only with an error event.
+	CacheDir string
 	// Obs receives the server's metrics, spans and access events. Nil
 	// disables instrumentation (the handlers still work).
 	Obs *obs.Observer
@@ -107,7 +114,12 @@ func New(cfg Config) *Server {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	if cfg.Engine == nil {
-		cfg.Engine = engine.New(engine.Config{Obs: cfg.Obs})
+		st, err := store.New(store.Options{Dir: cfg.CacheDir, Obs: cfg.Obs})
+		if err != nil {
+			cfg.Obs.EmitError("serve.store", err)
+			st = store.NewMemory(store.Options{Obs: cfg.Obs})
+		}
+		cfg.Engine = engine.New(engine.Config{Obs: cfg.Obs, Store: st})
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -181,6 +193,11 @@ func (s *Server) registerHelp() {
 	reg.SetHelp("engine.evals.abandoned", "Engine evaluations whose caller gave up at a deadline while the computation continued in the background.")
 	reg.SetHelp("optimize.evals", "Objective evaluations performed by engine optimization runs.")
 	reg.SetHelp("optimize.cache_hits", "Optimization probes served from the engine's memoization cache.")
+	reg.SetHelp("store.evictions", "Completed result-store entries evicted from the bounded memory tier.")
+	reg.SetHelp("store.disk.hits", "Result-store lookups served from the disk tier.")
+	reg.SetHelp("store.disk.misses", "Result-store disk-tier lookups that found no valid entry.")
+	reg.SetHelp("store.disk.writes", "Result-store entries written through to the disk tier.")
+	reg.SetHelp("store.corrupt", "Disk-tier entries that failed validation and were quarantined.")
 	for _, ep := range []string{"eval", "optimize", "sweep", "table", "healthz", "readyz"} {
 		reg.SetHelp("http.requests."+ep, "HTTP requests on /"+ep+".")
 		reg.SetHelp("http.latency."+ep, "HTTP request latency on /"+ep+" in seconds.")

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"repro/internal/engine"
+)
+
+// DefaultSweepChunk is the points-per-line granularity of a streamed
+// sweep when the request does not set chunk_size: small enough that the
+// first line of a big grid lands fast, large enough that the line
+// framing stays a rounding error against the evaluations.
+const DefaultSweepChunk = 256
+
+// streamSweep serves the NDJSON branch of /v1/sweep: a header line with
+// the grid's shape, then one chunk line per completed run of points,
+// each flushed onto the wire as soon as its evaluations finish. The
+// engine reuses the per-chunk results buffer, and the encoder reuses its
+// point buffer — the steady-state chunk path allocates per chunk, never
+// per grid, so a 10k-point sweep streams its first chunk while later
+// shards are still computing and holds memory for one chunk, not all
+// points.
+//
+// Status semantics: errors before the header (none are possible here —
+// validation already ran) would use the normal error shape; errors after
+// the header cannot change the already-written 200, so they surface as
+// a final {"error": ...} line and the stream ends early (fewer points
+// than the header promised is the truncation signal).
+func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, req SweepRequest, inst engine.Instance, params []float64, points []engine.Point, opts engine.SweepOptions) {
+	chunk := req.ChunkSize
+	if chunk <= 0 {
+		chunk = DefaultSweepChunk
+	}
+	if chunk > len(points) {
+		chunk = len(points)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := newSweepChunkEncoder(w, flusher, params, chunk)
+	if err := enc.header(SweepStreamHeader{N: inst.N, Delta: inst.Delta, Pi: req.Pi, Kind: req.Kind, Points: len(points), Chunk: chunk}); err != nil {
+		return
+	}
+	if err := s.eng.SweepChunksCtx(ctx, points, opts, chunk, enc.emit); err != nil {
+		enc.fail(err)
+	}
+}
+
+// sweepChunkEncoder renders sweep chunks as NDJSON lines. Its point
+// buffer is reused across chunks and the engine's results slice is
+// consumed inside emit — nothing per-shard is retained, so encoding a
+// chunk costs the same on the first and the ten-thousandth point.
+type sweepChunkEncoder struct {
+	enc    *json.Encoder
+	flush  http.Flusher
+	params []float64
+	buf    []SweepPoint
+	line   SweepStreamChunk
+}
+
+func newSweepChunkEncoder(w io.Writer, flush http.Flusher, params []float64, chunk int) *sweepChunkEncoder {
+	return &sweepChunkEncoder{
+		enc:    json.NewEncoder(w),
+		flush:  flush,
+		params: params,
+		buf:    make([]SweepPoint, 0, chunk),
+	}
+}
+
+// header writes the leading shape line and pushes it onto the wire, so
+// clients see the stream is live before the first chunk computes.
+func (e *sweepChunkEncoder) header(h SweepStreamHeader) error {
+	if err := e.enc.Encode(&h); err != nil {
+		return err
+	}
+	if e.flush != nil {
+		e.flush.Flush()
+	}
+	return nil
+}
+
+// emit is the engine's SweepChunksCtx callback: encode one chunk line
+// and flush it. The results slice is owned by the engine and reused for
+// the next chunk; emit copies what it needs into its own reused buffer.
+func (e *sweepChunkEncoder) emit(start int, results []engine.Result) error {
+	e.buf = e.buf[:0]
+	for i, res := range results {
+		e.buf = append(e.buf, SweepPoint{
+			Param:   e.params[start+i],
+			P:       res.P,
+			StdErr:  res.StdErr,
+			Backend: res.Backend.String(),
+			Cached:  res.Cached,
+		})
+	}
+	e.line.Start = start
+	e.line.Points = e.buf
+	if err := e.enc.Encode(&e.line); err != nil {
+		return err
+	}
+	if e.flush != nil {
+		e.flush.Flush()
+	}
+	return nil
+}
+
+// fail appends the trailing error line of an aborted stream.
+func (e *sweepChunkEncoder) fail(err error) {
+	code := "bad_request"
+	if isDeadline(err) {
+		code = "deadline_exceeded"
+	}
+	_ = e.enc.Encode(errorBody{Error: errorDetail{Code: code, Message: err.Error()}})
+	if e.flush != nil {
+		e.flush.Flush()
+	}
+}

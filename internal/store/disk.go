@@ -1,0 +1,315 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Disk entry format, version 1. Each entry is one file named by the
+// SHA-256 hex of its cache key, carrying a fixed 24-byte header followed
+// by a JSON payload:
+//
+//	[0:4]   magic "NCSE"
+//	[4:8]   format version, uint32 little-endian
+//	[8:16]  payload length, uint64 little-endian
+//	[16:24] FNV-64a checksum of the payload, uint64 little-endian
+//	[24:]   payload: {"key": <cache key>, "value": <Value>}
+//
+// The payload repeats the full cache key so a hash collision (or a file
+// renamed by hand) is detected and rejected rather than served. Bump
+// entryVersion whenever the Value encoding — or the meaning of any key
+// component — changes: mismatched versions fail validation and are
+// quarantined, never trusted.
+const (
+	entryMagic   = "NCSE"
+	entryVersion = 1
+	headerSize   = 24
+	// entryExt is the entry file suffix; everything else in the
+	// directory is ignored by scans.
+	entryExt = ".ncs"
+	// corruptDir is the quarantine subdirectory for entries that failed
+	// validation.
+	corruptDir = "corrupt"
+)
+
+// diskEntry is the JSON payload of one entry file.
+type diskEntry struct {
+	Key   string `json:"key"`
+	Value Value  `json:"value"`
+}
+
+// Disk is the content-addressed disk tier. Safe for concurrent use;
+// writes are atomic (temp file + rename), so concurrent replicas can
+// share one directory.
+type Disk struct {
+	dir string
+	obs *obs.Observer
+
+	mu      sync.Mutex // guards entries/bytes accounting
+	entries int
+	bytes   int64
+
+	hits, misses, writes, corrupt atomic.Int64
+}
+
+// OpenDisk opens (creating if needed) the disk tier rooted at dir,
+// scanning it once for the resident entry count and byte size and
+// clearing temp files left by a crashed writer.
+func OpenDisk(dir string, o *obs.Observer) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening cache dir: %w", err)
+	}
+	d := &Disk{dir: dir, obs: o}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning cache dir: %w", err)
+	}
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(de.Name(), "tmp-") {
+			os.Remove(filepath.Join(dir, de.Name()))
+			continue
+		}
+		if !strings.HasSuffix(de.Name(), entryExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		d.entries++
+		d.bytes += info.Size()
+	}
+	return d, nil
+}
+
+// Dir returns the cache directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// path maps a cache key onto its content-addressed entry file.
+func (d *Disk) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:])+entryExt)
+}
+
+// Get looks the key up, returning the stored value and whether it was
+// found. Entries that fail validation (bad magic, version, length,
+// checksum, or a payload key that does not match) are quarantined and
+// reported as misses — a corrupt cache can cost a recomputation, never
+// a wrong answer.
+func (d *Disk) Get(key string) (Value, bool) {
+	path := d.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		d.misses.Add(1)
+		d.obs.Counter("store.disk.misses").Inc()
+		return Value{}, false
+	}
+	v, err := DecodeEntry(data, key)
+	if err != nil {
+		d.quarantine(path, int64(len(data)))
+		d.misses.Add(1)
+		d.obs.Counter("store.disk.misses").Inc()
+		return Value{}, false
+	}
+	d.hits.Add(1)
+	d.obs.Counter("store.disk.hits").Inc()
+	return v, true
+}
+
+// Put writes the entry atomically: encode, write to a temp file in the
+// same directory, fsync-free rename over the final name. Write failures
+// are reported to the observer and returned, but callers on the
+// evaluation path treat them as advisory — a failed write-through must
+// never fail the evaluation that produced the value.
+func (d *Disk) Put(key string, v Value) error {
+	data, err := EncodeEntry(key, v)
+	if err != nil {
+		d.obs.EmitError("store.disk", err)
+		return err
+	}
+	path := d.path(key)
+	if err := d.writeAtomic(path, data); err != nil {
+		d.obs.EmitError("store.disk", err)
+		return err
+	}
+	d.writes.Add(1)
+	d.obs.Counter("store.disk.writes").Inc()
+	return nil
+}
+
+// writeAtomic lands data at path via temp file + rename, updating the
+// entry accounting.
+func (d *Disk) writeAtomic(path string, data []byte) error {
+	var old int64
+	existed := false
+	if info, err := os.Stat(path); err == nil {
+		old, existed = info.Size(), true
+	}
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp entry: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: closing entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: publishing entry: %w", err)
+	}
+	d.mu.Lock()
+	if existed {
+		d.bytes += int64(len(data)) - old
+	} else {
+		d.entries++
+		d.bytes += int64(len(data))
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// quarantine moves an invalid entry into the corrupt/ subdirectory
+// (falling back to deletion when the move fails) and counts it. The
+// entry stops being addressable either way — it is evicted, not
+// trusted.
+func (d *Disk) quarantine(path string, size int64) {
+	d.corrupt.Add(1)
+	d.obs.Counter("store.corrupt").Inc()
+	qdir := filepath.Join(d.dir, corruptDir)
+	moved := false
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		moved = os.Rename(path, filepath.Join(qdir, filepath.Base(path))) == nil
+	}
+	if !moved {
+		os.Remove(path)
+	}
+	d.mu.Lock()
+	d.entries--
+	d.bytes -= size
+	d.mu.Unlock()
+}
+
+// Purge deletes every entry file and the quarantine directory,
+// returning how many entries (and bytes) were removed. Lookup/write
+// counters keep counting across a purge.
+func (d *Disk) Purge() (entries int, bytes int64, err error) {
+	des, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: scanning cache dir: %w", err)
+	}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), entryExt) {
+			continue
+		}
+		info, ierr := de.Info()
+		if rerr := os.Remove(filepath.Join(d.dir, de.Name())); rerr != nil {
+			err = errors.Join(err, rerr)
+			continue
+		}
+		entries++
+		if ierr == nil {
+			bytes += info.Size()
+		}
+	}
+	if rerr := os.RemoveAll(filepath.Join(d.dir, corruptDir)); rerr != nil {
+		err = errors.Join(err, rerr)
+	}
+	d.mu.Lock()
+	d.entries -= entries
+	d.bytes -= bytes
+	d.mu.Unlock()
+	return entries, bytes, err
+}
+
+// Stats implements the disk half of Store.Stats.
+func (d *Disk) Stats() DiskStats {
+	d.mu.Lock()
+	entries, bytes := d.entries, d.bytes
+	d.mu.Unlock()
+	return DiskStats{
+		Dir:     d.dir,
+		Entries: entries,
+		Bytes:   bytes,
+		Hits:    d.hits.Load(),
+		Misses:  d.misses.Load(),
+		Writes:  d.writes.Load(),
+		Corrupt: d.corrupt.Load(),
+	}
+}
+
+// Close releases the tier. No handles are held open between operations,
+// so this is currently a no-op kept for the Store contract.
+func (d *Disk) Close() error { return nil }
+
+// EncodeEntry renders one entry file: header + JSON payload.
+func EncodeEntry(key string, v Value) ([]byte, error) {
+	payload, err := json.Marshal(diskEntry{Key: key, Value: v})
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding entry: %w", err)
+	}
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf[0:4], entryMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], entryVersion)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(payload)))
+	h := fnv.New64a()
+	h.Write(payload)
+	binary.LittleEndian.PutUint64(buf[16:24], h.Sum64())
+	copy(buf[headerSize:], payload)
+	return buf, nil
+}
+
+// DecodeEntry validates and decodes one entry file. A non-empty wantKey
+// additionally requires the payload's key to match — the guard against
+// hash collisions and hand-renamed files. DecodeEntry never panics,
+// whatever the bytes: every malformation is an error.
+func DecodeEntry(data []byte, wantKey string) (Value, error) {
+	if len(data) < headerSize {
+		return Value{}, fmt.Errorf("store: entry truncated: %d bytes", len(data))
+	}
+	if string(data[0:4]) != entryMagic {
+		return Value{}, fmt.Errorf("store: bad entry magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != entryVersion {
+		return Value{}, fmt.Errorf("store: entry version %d, want %d", v, entryVersion)
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	if n != uint64(len(data)-headerSize) {
+		return Value{}, fmt.Errorf("store: entry payload length %d, have %d bytes", n, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	h := fnv.New64a()
+	h.Write(payload)
+	if sum := binary.LittleEndian.Uint64(data[16:24]); sum != h.Sum64() {
+		return Value{}, fmt.Errorf("store: entry checksum mismatch")
+	}
+	var ent diskEntry
+	dec := json.NewDecoder(strings.NewReader(string(payload)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ent); err != nil {
+		return Value{}, fmt.Errorf("store: decoding entry payload: %w", err)
+	}
+	if wantKey != "" && ent.Key != wantKey {
+		return Value{}, fmt.Errorf("store: entry key mismatch (hash collision or renamed file)")
+	}
+	return ent.Value, nil
+}

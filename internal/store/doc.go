@@ -1,0 +1,38 @@
+// Package store is the engine's tiered result store: the memoization
+// layer that used to live as an unexported map inside internal/engine,
+// extracted behind a small Store interface so cached evaluations can be
+// size-bounded, persisted across process restarts, and shared between
+// replicas.
+//
+// Two tiers compose:
+//
+//   - The memory tier (Memory) keeps the engine's original singleflight
+//     semantics bit-for-bit: one Slot per cache key, concurrent identical
+//     evaluations coalesce onto one computation via sync.Once, and a
+//     computation abandoned by its caller still lands in the slot. On top
+//     it adds size-bounded LRU eviction (Options.MaxEntries) with a
+//     store.evictions counter; in-flight slots are never evicted.
+//
+//   - The optional disk tier (Disk) is content-addressed by the full
+//     cache key (problem.Key + rule fingerprint + backend/config key):
+//     each entry is one file named by the SHA-256 of its key, written
+//     atomically (temp file + rename) in a versioned, checksummed format.
+//     Corrupt or version-mismatched entries are never trusted: they are
+//     quarantined into a corrupt/ subdirectory and counted in
+//     store.corrupt. Hits, misses and writes since open are counted in
+//     store.disk.hits / store.disk.misses / store.disk.writes.
+//
+// A memory miss consults the disk tier before computing, and a computed
+// success is written through — so expensive exact and QMC results survive
+// restarts, and replicas sharing a cache directory warm each other.
+// Whether a slot was filled from disk is reported by Slot.FromDisk, which
+// the engine surfaces as a store.fill span attribute.
+//
+// Entry invalidation is by construction, not by protocol: the cache key
+// encodes every knob that changes the returned bits (instance bit
+// patterns, rule fingerprint, resolved backend, trial/seed/worker or
+// replicate tolerances), so a changed configuration addresses a different
+// entry, and entryVersion is bumped whenever the Value encoding or any
+// evaluation semantics change — old entries then fail the version check
+// and are evicted rather than served.
+package store

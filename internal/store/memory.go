@@ -1,0 +1,142 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Options configures New.
+type Options struct {
+	// MaxEntries bounds the memory tier: once exceeded, the least
+	// recently used completed slots are evicted (store.evictions).
+	// 0 means unbounded — the engine's original behavior.
+	MaxEntries int
+	// Dir enables the disk tier in this directory (created on open).
+	// Empty keeps the store memory-only.
+	Dir string
+	// Obs optionally counts store.evictions plus the disk tier's
+	// store.disk.hits / store.disk.misses / store.disk.writes /
+	// store.corrupt.
+	Obs *obs.Observer
+}
+
+// New opens a store: a memory tier, layered over a disk tier when
+// Options.Dir is set.
+func New(opts Options) (Store, error) {
+	m := &Memory{
+		max:   opts.MaxEntries,
+		obs:   opts.Obs,
+		index: make(map[string]*list.Element),
+		lru:   list.New(),
+	}
+	if opts.Dir != "" {
+		d, err := OpenDisk(opts.Dir, opts.Obs)
+		if err != nil {
+			return nil, err
+		}
+		m.disk = d
+	}
+	return m, nil
+}
+
+// NewMemory builds a memory-only store (never fails: there is no disk
+// tier to open). This is the engine's default.
+func NewMemory(opts Options) *Memory {
+	return &Memory{
+		max:   opts.MaxEntries,
+		obs:   opts.Obs,
+		index: make(map[string]*list.Element),
+		lru:   list.New(),
+	}
+}
+
+// Memory is the memory tier: a singleflight slot per key with LRU
+// eviction, optionally layered over a disk tier. Safe for concurrent
+// use.
+type Memory struct {
+	max  int
+	obs  *obs.Observer
+	disk *Disk
+
+	mu        sync.Mutex
+	index     map[string]*list.Element
+	lru       *list.List // front = most recently used; holds *lruEntry
+	evictions atomic.Int64
+}
+
+// lruEntry is one LRU node: the key alongside its slot, so eviction can
+// delete from the index without a reverse lookup.
+type lruEntry struct {
+	key  string
+	slot *Slot
+}
+
+// Acquire implements Store. An existing slot is refreshed to the LRU
+// front; a new slot may push the least recently used completed slots
+// out (in-flight slots are skipped — evicting them would sever the
+// abandoned-computation-warms-cache path).
+func (m *Memory) Acquire(key string) (*Slot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.index[key]; ok {
+		m.lru.MoveToFront(el)
+		return el.Value.(*lruEntry).slot, true
+	}
+	slot := &Slot{key: key, disk: m.disk}
+	m.index[key] = m.lru.PushFront(&lruEntry{key: key, slot: slot})
+	m.evict()
+	return slot, false
+}
+
+// evict trims completed slots from the LRU tail until the bound holds.
+// Called with mu held. The store may transiently exceed the bound when
+// every overflow candidate is still in flight.
+func (m *Memory) evict() {
+	if m.max <= 0 {
+		return
+	}
+	for el := m.lru.Back(); el != nil && len(m.index) > m.max; {
+		prev := el.Prev()
+		if le := el.Value.(*lruEntry); le.slot.Done() {
+			m.lru.Remove(el)
+			delete(m.index, le.key)
+			m.evictions.Add(1)
+			m.obs.Counter("store.evictions").Inc()
+		}
+		el = prev
+	}
+}
+
+// Len implements Store.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.index)
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	entries := len(m.index)
+	m.mu.Unlock()
+	st := Stats{Entries: entries, MaxEntries: m.max, Evictions: m.evictions.Load()}
+	if m.disk != nil {
+		d := m.disk.Stats()
+		st.Disk = &d
+	}
+	return st
+}
+
+// Disk returns the disk tier, nil when memory-only.
+func (m *Memory) Disk() *Disk { return m.disk }
+
+// Close implements Store.
+func (m *Memory) Close() error {
+	if m.disk != nil {
+		return m.disk.Close()
+	}
+	return nil
+}

@@ -1,0 +1,368 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestMemorySingleflight checks the slot coalescing contract the engine
+// depends on: concurrent fills of one key run the compute exactly once,
+// and every caller observes the same bits.
+func TestMemorySingleflight(t *testing.T) {
+	m := NewMemory(Options{})
+	var computes atomic.Int64
+	const goroutines = 16
+	var wg sync.WaitGroup
+	vals := make([]Value, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			slot, _ := m.Acquire("k")
+			slot.Fill(func() (Value, error) {
+				computes.Add(1)
+				return Value{P: 0.25, Backend: "exact"}, nil
+			})
+			vals[g], _ = slot.Result()
+		}(g)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	for g, v := range vals {
+		if v.P != 0.25 || v.Backend != "exact" {
+			t.Errorf("goroutine %d saw %+v", g, v)
+		}
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+}
+
+// TestFillError checks that a failed fill is cached (the engine's
+// original behavior: the error sticks to the slot) and never written
+// through to disk.
+func TestFillError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	slot, _ := s.Acquire("bad")
+	slot.Fill(func() (Value, error) {
+		return Value{}, os.ErrInvalid
+	})
+	if _, err := slot.Result(); err == nil {
+		t.Fatal("error not cached in slot")
+	}
+	if st := s.Stats(); st.Disk.Entries != 0 {
+		t.Errorf("failed fill wrote %d disk entries", st.Disk.Entries)
+	}
+}
+
+// TestLRUEviction checks the memory bound: completed slots are evicted
+// least-recently-used first, the store.evictions counter counts them,
+// and an evicted key is recomputed on next acquire.
+func TestLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMemory(Options{MaxEntries: 2, Obs: obs.New(reg, nil)})
+	fill := func(key string, p float64) {
+		slot, _ := m.Acquire(key)
+		slot.Fill(func() (Value, error) { return Value{P: p}, nil })
+	}
+	fill("a", 1)
+	fill("b", 2)
+	// Refresh "a" so "b" is the LRU victim.
+	if _, ok := m.Acquire("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	fill("c", 3)
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+	// Probe the index directly: Acquire would itself insert (and evict).
+	resident := func(key string) bool {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		_, ok := m.index[key]
+		return ok
+	}
+	if resident("b") {
+		t.Error("LRU victim b still resident")
+	}
+	if !resident("a") {
+		t.Error("recently used a was evicted")
+	}
+	if got := reg.Counter("store.evictions").Value(); got < 1 {
+		t.Errorf("store.evictions = %d, want ≥ 1", got)
+	}
+	if st := m.Stats(); st.Evictions < 1 || st.MaxEntries != 2 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+// TestLRUKeepsInflight checks that an in-flight slot is never evicted:
+// evicting it would sever the abandoned-computation-warms-cache path.
+func TestLRUKeepsInflight(t *testing.T) {
+	m := NewMemory(Options{MaxEntries: 1})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		slot, _ := m.Acquire("slow")
+		slot.Fill(func() (Value, error) {
+			close(started)
+			<-release
+			return Value{P: 9}, nil
+		})
+	}()
+	<-started
+	// Overflow the bound while "slow" is still computing.
+	slot, _ := m.Acquire("fast")
+	slot.Fill(func() (Value, error) { return Value{P: 1}, nil })
+	if _, ok := m.Acquire("slow"); !ok {
+		t.Error("in-flight slot was evicted")
+	}
+	close(release)
+}
+
+// TestDiskRoundTrip checks Put/Get value fidelity, including the nested
+// simulation result.
+func TestDiskRoundTrip(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Value{
+		P:       0.5446311396758939,
+		StdErr:  0.00123,
+		Backend: "mc",
+		Sim:     &sim.Result{P: 0.5446, StdErr: 0.00123, CILo: 0.54, CIHi: 0.55, Wins: 54460, Trials: 100000},
+	}
+	if err := d.Put("key-1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get("key-1")
+	if !ok {
+		t.Fatal("entry not found after Put")
+	}
+	if got.P != want.P || got.StdErr != want.StdErr || got.Backend != want.Backend {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+	if got.Sim == nil || *got.Sim != *want.Sim {
+		t.Errorf("sim result mangled: %+v vs %+v", got.Sim, want.Sim)
+	}
+	if _, ok := d.Get("key-2"); ok {
+		t.Error("absent key reported found")
+	}
+	st := d.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Bytes <= 0 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if ratio, ok := st.HitRatio(); !ok || ratio != 0.5 {
+		t.Errorf("HitRatio = %v, %v; want 0.5, true", ratio, ok)
+	}
+}
+
+// TestWriteThroughAcrossRestart is the tentpole contract: a value
+// computed through one store is served from disk — without recompute —
+// by a fresh store opened on the same directory.
+func TestWriteThroughAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, _ := s1.Acquire("eval-key")
+	slot.Fill(func() (Value, error) { return Value{P: 0.75, Backend: "exact"}, nil })
+	if slot.FromDisk() {
+		t.Error("computed slot claims disk origin")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Disk.Entries != 1 {
+		t.Fatalf("restarted store sees %d entries, want 1", st.Disk.Entries)
+	}
+	slot2, existed := s2.Acquire("eval-key")
+	if existed {
+		t.Error("fresh memory tier claims the key is resident")
+	}
+	computed := false
+	slot2.Fill(func() (Value, error) {
+		computed = true
+		return Value{}, nil
+	})
+	if computed {
+		t.Error("restart recomputed a persisted value")
+	}
+	if !slot2.FromDisk() {
+		t.Error("slot not marked as disk-filled")
+	}
+	if v, _ := slot2.Result(); v.P != 0.75 || v.Backend != "exact" {
+		t.Errorf("disk value = %+v", v)
+	}
+}
+
+// TestCorruptQuarantine checks every validation failure class: the
+// entry is quarantined into corrupt/ (never served), counted, and the
+// key recomputes.
+func TestCorruptQuarantine(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:headerSize-4] }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"version mismatch", func(b []byte) []byte { b[4] = 99; return b }},
+		{"bad length", func(b []byte) []byte { b[8] ^= 0xFF; return b }},
+		{"checksum mismatch", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }},
+		{"arbitrary garbage", func(b []byte) []byte { return []byte("not an entry at all") }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			d, err := OpenDisk(t.TempDir(), obs.New(reg, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Put("k", Value{P: 0.5, Backend: "exact"}); err != nil {
+				t.Fatal(err)
+			}
+			path := d.path("k")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, c.mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := d.Get("k"); ok {
+				t.Fatal("mangled entry was served")
+			}
+			if got := reg.Counter("store.corrupt").Value(); got != 1 {
+				t.Errorf("store.corrupt = %d, want 1", got)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("mangled entry still addressable")
+			}
+			q, err := os.ReadDir(filepath.Join(d.dir, corruptDir))
+			if err != nil || len(q) != 1 {
+				t.Errorf("quarantine holds %d files (err %v), want 1", len(q), err)
+			}
+			if st := d.Stats(); st.Entries != 0 {
+				t.Errorf("corrupt entry still counted: %+v", st)
+			}
+		})
+	}
+}
+
+// TestKeyMismatch checks the hash-collision guard: an entry file copied
+// onto another key's address decodes but names the wrong key, so it is
+// rejected.
+func TestKeyMismatch(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("original", Value{P: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(d.path("original"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.path("impostor"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("impostor"); ok {
+		t.Error("entry served under the wrong key")
+	}
+}
+
+// TestPurge checks the cache-clearing path behind `nocomm cache -purge`.
+func TestPurge(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if err := d.Put(k, Value{P: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, bytes, err := d.Purge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 3 || bytes <= 0 {
+		t.Errorf("Purge removed %d entries, %d bytes", entries, bytes)
+	}
+	if st := d.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("Stats after purge: %+v", st)
+	}
+	if _, ok := d.Get("a"); ok {
+		t.Error("entry survived purge")
+	}
+}
+
+// TestOpenCleansTempFiles checks that temp files abandoned by a crashed
+// writer are removed on open and never counted as entries.
+func TestOpenCleansTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tmp-12345"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Entries != 0 {
+		t.Errorf("temp file counted as entry: %+v", st)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if strings.HasPrefix(de.Name(), "tmp-") {
+			t.Error("stale temp file survived open")
+		}
+	}
+}
+
+// TestEncodeDecodeEntry round-trips the entry codec directly.
+func TestEncodeDecodeEntry(t *testing.T) {
+	want := Value{P: 0.123, StdErr: 0.004, Backend: "mc-qmc", Sim: &sim.Result{Replicates: 16, Trials: 65536}}
+	data, err := EncodeEntry("some|key", want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEntry(data, "some|key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P != want.P || got.Backend != want.Backend || got.Sim.Replicates != 16 {
+		t.Errorf("round trip: %+v vs %+v", got, want)
+	}
+	if _, err := DecodeEntry(data, "other|key"); err == nil {
+		t.Error("key mismatch accepted")
+	}
+	if _, err := DecodeEntry(data, ""); err != nil {
+		t.Errorf("empty wantKey should skip the key check: %v", err)
+	}
+}
