@@ -56,9 +56,16 @@ BENCH_HEAD7 ?= qmc-head
 # `make bench-store-json`.
 BENCH_BASE8 ?= store-baseline
 BENCH_HEAD8 ?= store-head
+# Table-reuse a-vector ascent pair: one coordinate-ascent pass at n=15,
+# recorded with every probe rebuilding the exact tables
+# (NOCOMM_ASCENT_BENCH=legacy) and with the per-search reusable evaluator
+# delta-updating them; the gate requires the reused search ≥5x faster.
+# Re-record both with `make bench-ascent-json`.
+BENCH_BASE9 ?= ascent-baseline
+BENCH_HEAD9 ?= ascent-head
 BENCH_CHECK ?= 1
 
-.PHONY: build test race vet bench bench-json bench-serve-json bench-kernel-json bench-qmc-json bench-store-json bench-check ci
+.PHONY: build test race vet bench bench-json bench-serve-json bench-kernel-json bench-qmc-json bench-store-json bench-ascent-json bench-check ci
 
 build:
 	$(GO) build ./...
@@ -67,7 +74,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/qrand/... ./internal/sim/... ./internal/obs/... ./internal/store/... ./internal/engine/... ./internal/optimize/... ./internal/serve/... ./internal/nonoblivious/... ./internal/oblivious/...
+	$(GO) test -race ./internal/problem/... ./internal/model/... ./internal/qrand/... ./internal/sim/... ./internal/obs/... ./internal/store/... ./internal/engine/... ./internal/optimize/... ./internal/serve/... ./internal/nonoblivious/... ./internal/oblivious/... ./internal/dist/... ./internal/combin/...
 
 vet:
 	$(GO) vet ./...
@@ -100,6 +107,13 @@ bench-store-json:
 	NOCOMM_STORE_BENCH=cold $(GO) test -run '^$$' -bench '^BenchmarkWarmRestartEval$$' -benchmem -benchtime=$(BENCHTIME) ./internal/serve/ | $(GO) run ./cmd/benchjson -label $(BENCH_BASE8) -out BENCH_serve.json
 	$(GO) test -run '^$$' -bench '^BenchmarkWarmRestartEval$$' -benchmem -benchtime=$(BENCHTIME) ./internal/serve/ | $(GO) run ./cmd/benchjson -label $(BENCH_HEAD8) -out BENCH_serve.json
 
+# Record both sides of the table-reuse ascent pair: the n=15 a-vector
+# pass with per-probe table rebuilds (legacy), then with the reusable
+# evaluator. 1x benchtime: one full ascent pass is the measurement.
+bench-ascent-json:
+	NOCOMM_ASCENT_BENCH=legacy $(GO) test -run '^$$' -bench '^BenchmarkOptimizeVectorN15$$' -benchtime 1x ./internal/engine/ | $(GO) run ./cmd/benchjson -label $(BENCH_BASE9) -out BENCH_sim.json
+	$(GO) test -run '^$$' -bench '^BenchmarkOptimizeVectorN15$$' -benchtime 1x ./internal/engine/ | $(GO) run ./cmd/benchjson -label $(BENCH_HEAD9) -out BENCH_sim.json
+
 bench-check:
 ifeq ($(BENCH_CHECK),0)
 	@echo "bench-check: skipped (BENCH_CHECK=0)"
@@ -113,6 +127,7 @@ else
 	$(GO) run ./cmd/benchjson -check $(BENCH_BASE6),$(BENCH_HEAD6) -match '^BenchmarkBatchKernel$$' -improve 1.5
 	$(GO) run ./cmd/benchjson -check $(BENCH_BASE7),$(BENCH_HEAD7) -improve 4
 	$(GO) run ./cmd/benchjson -out BENCH_serve.json -check $(BENCH_BASE8),$(BENCH_HEAD8) -improve 10
+	$(GO) run ./cmd/benchjson -check $(BENCH_BASE9),$(BENCH_HEAD9) -match '^BenchmarkOptimizeVectorN15$$' -improve 5
 endif
 
 ci: build vet test race bench-check

@@ -383,6 +383,7 @@ func cmdOptimize(g *obsFlags, args []string) (err error) {
 	grid := fs.Int("grid", engine.DefaultOptimizeGrid, "scalar search grid resolution")
 	tol := fs.Float64("tol", engine.DefaultOptimizeTol, "search tolerance")
 	passes := fs.Int("passes", 0, "vector coordinate-ascent pass cap (0 = default)")
+	verbose := fs.Bool("v", false, "print search-cost detail (evals, cache hits, delta updates)")
 	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -504,6 +505,10 @@ func cmdOptimize(g *obsFlags, args []string) (err error) {
 		fmt.Printf("  α* = %.9f\n  P* = %.9f\n", res.Params[0], res.Value)
 	}
 	fmt.Printf("  search: %d evals (%d cached), %d iterations\n", res.Evals, res.CacheHits, res.Iterations)
+	if *verbose {
+		fmt.Printf("  search detail: optimize.evals=%d optimize.cache_hits=%d exact.delta.updates=%d\n",
+			res.Evals, res.CacheHits, res.DeltaUpdates)
+	}
 	if res.Degraded {
 		fmt.Printf("  degraded: deadline struck mid-search; best point so far\n")
 	}

@@ -22,6 +22,7 @@ func TestOptimizeGolden(t *testing.T) {
 		{"oblivious", []string{"optimize", "-kind", "oblivious"}, "optimize_oblivious.golden"},
 		{"threshold n4", []string{"optimize", "-n", "4", "-delta", "1.3333333333333333", "-kind", "threshold"}, "optimize_threshold_n4.golden"},
 		{"vector hetero", []string{"optimize", "-kind", "vector", "-pi", "0.5,1,1"}, "optimize_vector.golden"},
+		{"vector reuse verbose", []string{"optimize", "-kind", "vector", "-v"}, "optimize_vector_reuse.golden"},
 	}
 	for _, c := range cases {
 		c := c

@@ -69,6 +69,20 @@ func SumOverSubsets(arr []float64, n, workers int) error {
 		half := uint64(1) << uint(b)
 		step := half << 1
 		blocks := size / step
+		if workers <= 1 {
+			// Serial fast path: writes are disjoint, so this is the same
+			// sequence of pair additions the chunked path performs, without
+			// the per-pass closure (which escapes through forChunks' worker
+			// branch and would heap-allocate even when run serially).
+			for base := uint64(0); base < size; base += step {
+				low := arr[base : base+half]
+				high := arr[base+half : base+step : base+step]
+				for i := range high {
+					high[i] += low[i]
+				}
+			}
+			continue
+		}
 		forChunks(workers, blocks, func(_, lo, hi uint64) {
 			for blk := lo; blk < hi; blk++ {
 				base := blk * step

@@ -393,6 +393,12 @@ func (e *Engine) compute(ctx context.Context, inst Instance, r Rule, backend Bac
 	switch backend {
 	case Exact:
 		e.obs.Counter("engine.evals.exact").Inc()
+		if res, ok, err := e.overriddenExact(ctx, inst, r); ok {
+			if err != nil {
+				return Result{}, err
+			}
+			return res, nil
+		}
 		var p float64
 		var err error
 		if ro, ok := r.(ExactOpts); ok {

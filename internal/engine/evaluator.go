@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/oblivious"
+)
+
+// obliviousAlphaRule is implemented by the oblivious rules that can expose
+// their full bin-choice vector, letting sweeps route them through a
+// reusable per-worker evaluator instead of rebuilding the subset-CDF
+// table per point.
+type obliviousAlphaRule interface {
+	alphaVector(n int) []float64
+}
+
+func (r SymmetricOblivious) alphaVector(n int) []float64 { return repeated(r.A, n) }
+
+func (r Oblivious) alphaVector(int) []float64 { return r.Alphas }
+
+// exactOverride carries a reusable oblivious evaluator through the context
+// into compute()'s Exact branch. The evaluator is bit-identical to the
+// one-shot WinningProbabilityPiOpts, so overridden results land in the
+// memoization cache under the normal keys. The mutex serializes the owner
+// worker against abandoned evaluations still running in the background
+// after their caller's deadline struck.
+type exactOverride struct {
+	mu      sync.Mutex
+	ev      *oblivious.Evaluator
+	instKey string
+}
+
+type exactOverrideKey struct{}
+
+func withExactOverride(ctx context.Context, ov *exactOverride) context.Context {
+	return context.WithValue(ctx, exactOverrideKey{}, ov)
+}
+
+// sweepOverrideFactory decides whether a sweep qualifies for per-worker
+// reusable evaluators — an Exact/Auto backend, every point on one shared
+// heterogeneous instance within the evaluator's range, every rule an
+// oblivious rule exposing its α-vector (the 1-D α sweeps and their
+// chunked/streamed variants) — and returns a constructor for per-worker
+// overrides, or nil when the sweep should take the one-shot path.
+func (e *Engine) sweepOverrideFactory(points []Point, backend Backend) func() *exactOverride {
+	if backend != Exact && backend != Auto {
+		return nil
+	}
+	if len(points) < 2 {
+		return nil
+	}
+	inst := points[0].Instance
+	if !inst.Heterogeneous() || inst.N < 2 || inst.N > oblivious.MaxNHetero {
+		return nil
+	}
+	key := inst.Key()
+	for _, pt := range points {
+		if _, ok := pt.Rule.(obliviousAlphaRule); !ok {
+			return nil
+		}
+		if pt.Instance.Key() != key {
+			return nil
+		}
+	}
+	return func() *exactOverride {
+		ev, err := oblivious.NewEvaluator(inst.Pi, inst.Delta, 1)
+		if err != nil {
+			// Instance rejected by the evaluator (e.g. a capacity the
+			// one-shot path will reject identically): disable the override
+			// and let the points fail through the normal path.
+			return nil
+		}
+		return &exactOverride{ev: ev, instKey: key}
+	}
+}
+
+// overriddenExact serves an Exact computation from the context's reusable
+// evaluator when one is riding ctx and matches (instance, rule shape).
+// The bool reports whether the override applied.
+func (e *Engine) overriddenExact(ctx context.Context, inst Instance, r Rule) (Result, bool, error) {
+	ov, ok := ctx.Value(exactOverrideKey{}).(*exactOverride)
+	if !ok || ov == nil {
+		return Result{}, false, nil
+	}
+	ar, ok := r.(obliviousAlphaRule)
+	if !ok || inst.Key() != ov.instKey {
+		return Result{}, false, nil
+	}
+	ov.mu.Lock()
+	before := ov.ev.Stats()
+	p, err := ov.ev.Evaluate(ar.alphaVector(inst.N))
+	after := ov.ev.Stats()
+	ov.mu.Unlock()
+	e.obs.Counter("exact.delta.updates").Add(int64(after.DeltaUpdates - before.DeltaUpdates))
+	e.obs.Counter("exact.delta.subsets").Add(int64(after.DeltaSubsets - before.DeltaSubsets))
+	if err != nil {
+		return Result{}, true, err
+	}
+	return Result{P: p, Backend: Exact}, true, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/nonoblivious"
 	"repro/internal/obs"
 	"repro/internal/optimize"
 	"repro/internal/sim"
@@ -42,6 +43,15 @@ type OptimizeOptions struct {
 	// midpoint. Ignored by the scalar path (the grid scan brackets the
 	// global maximum on its own).
 	Start []float64
+	// SkipPolish skips the vector path's Nelder-Mead polish, returning the
+	// coordinate-ascent optimum directly. Benchmarks isolating the ascent
+	// use it; production searches should leave it false.
+	SkipPolish bool
+	// NoTableReuse disables the per-search reusable evaluator, forcing
+	// every probe through the one-shot exact path. It exists to measure
+	// the table-reuse speedup; leaving it false is strictly faster and
+	// agrees within the exact backend's certified error bound.
+	NoTableReuse bool
 }
 
 // OptimizeResult is the outcome of one optimization run.
@@ -63,6 +73,9 @@ type OptimizeResult struct {
 	// Iterations counts searcher iterations (bracket shrinks for the
 	// scalar path, ascent passes plus simplex moves for the vector path).
 	Iterations int
+	// DeltaUpdates counts the reusable evaluator's single-coordinate
+	// delta evaluations (0 when the search ran without table reuse).
+	DeltaUpdates uint64
 	// Degraded reports that the context expired mid-search and the result
 	// is the best point evaluated before the deadline, not a converged
 	// optimum.
@@ -121,6 +134,25 @@ func (e *Engine) OptimizeCtx(ctx context.Context, inst Instance, fam RuleFamily,
 		defer sp.End()
 	}
 
+	// Vector searches over homogeneous threshold instances probe through a
+	// per-search reusable evaluator: the exact tables are built once and
+	// delta-updated per probe. Probes deliberately do NOT consult the memo
+	// store — probe values must depend only on the probe sequence, never on
+	// cache state, so concurrent searches stay bit-identical. Probe values
+	// agree with the one-shot path within the exact backend's certified
+	// error bound; the final optimum is re-evaluated through the normal
+	// memoizing path below, so the returned Value carries the one-shot
+	// bits and repeated searches hit the cache there.
+	var pev *nonoblivious.Evaluator
+	if len(lo) > 1 && !opts.NoTableReuse &&
+		(opts.Backend == Exact || opts.Backend == Auto) && !inst.Heterogeneous() {
+		if _, ok := fam.(ThresholdVectorFamily); ok && inst.N <= nonoblivious.MaxNGeneral {
+			if evp, eerr := nonoblivious.NewEvaluator(inst.N, inst.Delta); eerr == nil {
+				pev = evp
+			}
+		}
+	}
+
 	best := OptimizeResult{Family: fam.Name(), Value: math.Inf(-1)}
 	var firstErr error
 	objective := func(params []float64) float64 {
@@ -131,26 +163,45 @@ func (e *Engine) OptimizeCtx(ctx context.Context, inst Instance, fam RuleFamily,
 			}
 			return math.Inf(-1)
 		}
-		res, err := e.EvaluateWithCtx(ctx, inst, r, opts.Backend, opts.Sim)
 		best.Evals++
 		e.obs.Counter("optimize.evals").Inc()
-		if err != nil {
-			if firstErr == nil && ctx.Err() == nil {
-				firstErr = err
+		var p float64
+		var backend Backend
+		cached := false
+		if pev != nil {
+			if ctx.Err() != nil {
+				return math.Inf(-1)
 			}
-			return math.Inf(-1)
+			var perr error
+			p, perr = pev.EvaluateVector(params)
+			if perr != nil {
+				if firstErr == nil {
+					firstErr = perr
+				}
+				return math.Inf(-1)
+			}
+			backend = Exact
+		} else {
+			res, err := e.EvaluateWithCtx(ctx, inst, r, opts.Backend, opts.Sim)
+			if err != nil {
+				if firstErr == nil && ctx.Err() == nil {
+					firstErr = err
+				}
+				return math.Inf(-1)
+			}
+			p, backend, cached = res.P, res.Backend, res.Cached
 		}
-		if res.Cached {
+		if cached {
 			best.CacheHits++
 			e.obs.Counter("optimize.cache_hits").Inc()
 		}
-		if res.P > best.Value {
-			best.Value = res.P
+		if p > best.Value {
+			best.Value = p
 			best.Params = append(best.Params[:0], params...)
 			best.Rule = r
-			best.Backend = res.Backend
+			best.Backend = backend
 		}
-		return res.P
+		return p
 	}
 
 	if len(lo) == 1 {
@@ -174,22 +225,53 @@ func (e *Engine) OptimizeCtx(ctx context.Context, inst Instance, fam RuleFamily,
 			return OptimizeResult{}, serr
 		}
 		best.Iterations = ca.Iterations
-		// Polish with Nelder-Mead from the ascent's optimum: coordinate
-		// ascent can stall on diagonal ridges that simplex moves cross.
-		minWidth := math.Inf(1)
-		for i := range lo {
-			minWidth = math.Min(minWidth, hi[i]-lo[i])
+		if !opts.SkipPolish {
+			// Polish with Nelder-Mead from the ascent's optimum: coordinate
+			// ascent can stall on diagonal ridges that simplex moves cross.
+			minWidth := math.Inf(1)
+			for i := range lo {
+				minWidth = math.Min(minWidth, hi[i]-lo[i])
+			}
+			nm, serr := optimize.NelderMeadMaxObserved(e.obs, objective, ca.X, lo, hi, minWidth/8, 200*len(lo), opts.Tol)
+			if serr != nil {
+				return OptimizeResult{}, serr
+			}
+			best.Iterations += nm.Iterations
 		}
-		nm, serr := optimize.NelderMeadMaxObserved(e.obs, objective, ca.X, lo, hi, minWidth/8, 200*len(lo), opts.Tol)
-		if serr != nil {
-			return OptimizeResult{}, serr
+	}
+
+	if pev != nil {
+		st := pev.Stats()
+		best.DeltaUpdates = st.DeltaUpdates
+		e.obs.Counter("exact.delta.updates").Add(int64(st.DeltaUpdates))
+		e.obs.Counter("exact.delta.subsets").Add(int64(st.DeltaSubsets))
+		if best.Rule != nil {
+			// Canonicalize: delta-updated probe values drift within the
+			// certified bound, so the reported optimum is re-evaluated
+			// through the normal memoizing path and carries the one-shot
+			// bits. A deadline striking here keeps the evaluator's value;
+			// the result is flagged Degraded below.
+			res, rerr := e.EvaluateWithCtx(ctx, inst, best.Rule, opts.Backend, opts.Sim)
+			best.Evals++
+			e.obs.Counter("optimize.evals").Inc()
+			if rerr == nil {
+				best.Value = res.P
+				best.Backend = res.Backend
+				if res.Cached {
+					best.CacheHits++
+					e.obs.Counter("optimize.cache_hits").Inc()
+				}
+			}
 		}
-		best.Iterations += nm.Iterations
 	}
 
 	if sp != nil {
 		sp.SetAttr("evals", float64(best.Evals))
 		sp.SetAttr("cache_hits", float64(best.CacheHits))
+		if pev != nil {
+			sp.SetAttr("optimize.table_reuse", 1)
+			sp.SetAttr("optimize.delta_updates", float64(best.DeltaUpdates))
+		}
 	}
 	if math.IsInf(best.Value, -1) {
 		// No probe succeeded: report the deadline if one struck, the first

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/problem"
@@ -62,6 +63,36 @@ func BenchmarkOptimizeVectorCold(b *testing.B) {
 		e := New(Config{})
 		if _, err := e.Optimize(inst, ThresholdVectorFamily{}, OptimizeOptions{Backend: Exact}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeVectorN15 prices one coordinate-ascent pass over the
+// homogeneous n=15 a-vector box with a cold cache every iteration — the
+// table-reuse pair's workload. By default probes route through the
+// per-search reusable evaluator (the ascent-head snapshot);
+// NOCOMM_ASCENT_BENCH=legacy forces NoTableReuse, rebuilding the exact
+// tables from scratch on every probe (the ascent-baseline snapshot). The
+// polish is skipped and the pass count pinned so both sides run the
+// identical probe sequence. Record both sides with
+// `make bench-ascent-json`; bench-check requires the head ≥5× faster.
+func BenchmarkOptimizeVectorN15(b *testing.B) {
+	inst := benchInstance(b, 15, 5, nil)
+	legacy := os.Getenv("NOCOMM_ASCENT_BENCH") == "legacy"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New(Config{})
+		res, err := e.Optimize(inst, ThresholdVectorFamily{}, OptimizeOptions{
+			Backend:      Exact,
+			Passes:       1,
+			SkipPolish:   true,
+			NoTableReuse: legacy,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if legacy == (res.DeltaUpdates > 0) {
+			b.Fatalf("legacy=%v but DeltaUpdates=%d: benchmark not exercising the intended path", legacy, res.DeltaUpdates)
 		}
 	}
 }

@@ -11,8 +11,8 @@ import (
 	"repro/internal/comm"
 	"repro/internal/model"
 	"repro/internal/nonoblivious"
-	"repro/internal/obs"
 	"repro/internal/oblivious"
+	"repro/internal/obs"
 	"repro/internal/problem"
 	"repro/internal/py91"
 	"repro/internal/response"

@@ -119,12 +119,24 @@ func (e *Engine) sweepInto(ctx context.Context, points []Point, results []Result
 	if err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
+	// Qualifying sweeps (one shared heterogeneous instance, all-oblivious
+	// rules, exact backend) give each worker a reusable evaluator that
+	// builds the instance's subset-CDF table once and delta-updates per
+	// point — bit-identical to the one-shot path, so results memoize under
+	// the same keys.
+	makeOverride := e.sweepOverrideFactory(points, opts.Backend)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wctx := ctx
+			if makeOverride != nil {
+				if ov := makeOverride(); ov != nil {
+					wctx = withExactOverride(ctx, ov)
+				}
+			}
 			for {
 				if ctx.Err() != nil {
 					return
@@ -133,7 +145,7 @@ func (e *Engine) sweepInto(ctx context.Context, points []Point, results []Result
 				if i >= len(points) {
 					return
 				}
-				results[i], errs[i] = e.EvaluateWithCtx(ctx, points[i].Instance, points[i].Rule, opts.Backend, opts.Sim)
+				results[i], errs[i] = e.EvaluateWithCtx(wctx, points[i].Instance, points[i].Rule, opts.Backend, opts.Sim)
 			}
 		}()
 	}

@@ -300,17 +300,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp := OptimizeResponse{
-		N:          inst.N,
-		Delta:      inst.Delta,
-		Pi:         req.Pi,
-		Kind:       req.Kind,
-		Params:     res.Params,
-		P:          res.Value,
-		Backend:    res.Backend.String(),
-		Evals:      res.Evals,
-		CacheHits:  res.CacheHits,
-		Iterations: res.Iterations,
-		Degraded:   res.Degraded,
+		N:            inst.N,
+		Delta:        inst.Delta,
+		Pi:           req.Pi,
+		Kind:         req.Kind,
+		Params:       res.Params,
+		P:            res.Value,
+		Backend:      res.Backend.String(),
+		Evals:        res.Evals,
+		CacheHits:    res.CacheHits,
+		Iterations:   res.Iterations,
+		DeltaUpdates: res.DeltaUpdates,
+		Degraded:     res.Degraded,
 	}
 	if len(res.Params) == 1 {
 		resp.Param = res.Params[0]

@@ -112,6 +112,42 @@ func TestOptimizeVector(t *testing.T) {
 	}
 }
 
+// TestOptimizeDeltaUpdates checks that the search-cost surface includes
+// the reusable evaluator's delta-update count: a homogeneous vector search
+// routes probes through the per-search evaluator and reports
+// delta_updates > 0, while a search outside the table-reuse gate (the
+// heterogeneous instance) omits the field entirely.
+func TestOptimizeDeltaUpdates(t *testing.T) {
+	s, o, _ := newTestServer(t, Config{})
+	rec := postJSON(t, s.Handler(), "/v1/optimize",
+		`{"n":3,"delta":1,"kind":"vector","backend":"exact"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"delta_updates":`) {
+		t.Errorf("response should surface delta_updates: %s", rec.Body.String())
+	}
+	var resp OptimizeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.DeltaUpdates == 0 {
+		t.Error("homogeneous vector search reported no delta updates")
+	}
+	if got := o.Counter("exact.delta.updates").Value(); got != int64(resp.DeltaUpdates) {
+		t.Errorf("exact.delta.updates counter %d != reported delta_updates %d", got, resp.DeltaUpdates)
+	}
+
+	rec = postJSON(t, s.Handler(), "/v1/optimize",
+		`{"pi":[0.5,1,1],"delta":1,"kind":"vector","backend":"exact"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("hetero status = %d", rec.Code)
+	}
+	if strings.Contains(rec.Body.String(), `"delta_updates"`) {
+		t.Errorf("heterogeneous search should omit delta_updates: %s", rec.Body.String())
+	}
+}
+
 // TestOptimizeSpanTree checks the optimization trace: one request
 // produces http.optimize → engine.optimize → engine.evaluate →
 // backend.exact under a single request id.

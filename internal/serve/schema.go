@@ -177,7 +177,11 @@ type OptimizeResponse struct {
 	Evals      int     `json:"evals"`
 	CacheHits  int     `json:"cache_hits"`
 	Iterations int     `json:"iterations"`
-	Degraded   bool    `json:"degraded,omitempty"`
+	// DeltaUpdates counts the single-coordinate delta evaluations the
+	// search's reusable exact evaluator served (omitted when the search
+	// ran without table reuse).
+	DeltaUpdates uint64 `json:"delta_updates,omitempty"`
+	Degraded     bool   `json:"degraded,omitempty"`
 }
 
 // TableRequest is the /v1/table body: one harness table experiment by id

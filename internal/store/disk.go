@@ -10,9 +10,11 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -233,6 +235,70 @@ func (d *Disk) Purge() (entries int, bytes int64, err error) {
 	}
 	if rerr := os.RemoveAll(filepath.Join(d.dir, corruptDir)); rerr != nil {
 		err = errors.Join(err, rerr)
+	}
+	d.mu.Lock()
+	d.entries -= entries
+	d.bytes -= bytes
+	d.mu.Unlock()
+	return entries, bytes, err
+}
+
+// GC prunes the disk tier by age and size: entries older than maxAge are
+// removed (maxAge <= 0 disables the age bound), then — when maxBytes >= 0
+// — the oldest surviving entries are removed until the tier fits in
+// maxBytes. Entries are aged by file modification time, which the atomic
+// write path refreshes on every write-through, so "oldest" means least
+// recently written. Returns how many entries (and bytes) were purged.
+// Ties on modification time break by file name, so a GC pass is
+// deterministic for a given directory state.
+func (d *Disk) GC(maxAge time.Duration, maxBytes int64) (entries int, bytes int64, err error) {
+	des, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: scanning cache dir: %w", err)
+	}
+	type entry struct {
+		name string
+		size int64
+		mod  time.Time
+	}
+	var live []entry
+	var total int64
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), entryExt) {
+			continue
+		}
+		info, ierr := de.Info()
+		if ierr != nil {
+			continue
+		}
+		live = append(live, entry{name: de.Name(), size: info.Size(), mod: info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if !live[i].mod.Equal(live[j].mod) {
+			return live[i].mod.Before(live[j].mod)
+		}
+		return live[i].name < live[j].name
+	})
+	cutoff := time.Time{}
+	if maxAge > 0 {
+		cutoff = time.Now().Add(-maxAge)
+	}
+	for _, e := range live {
+		expired := maxAge > 0 && e.mod.Before(cutoff)
+		oversize := maxBytes >= 0 && total > maxBytes
+		if !expired && !oversize {
+			// live is oldest-first: once one entry survives both bounds,
+			// every younger entry does too.
+			break
+		}
+		if rerr := os.Remove(filepath.Join(d.dir, e.name)); rerr != nil {
+			err = errors.Join(err, rerr)
+			continue
+		}
+		entries++
+		bytes += e.size
+		total -= e.size
 	}
 	d.mu.Lock()
 	d.entries -= entries

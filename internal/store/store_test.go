@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -317,6 +318,103 @@ func TestPurge(t *testing.T) {
 	}
 	if _, ok := d.Get("a"); ok {
 		t.Error("entry survived purge")
+	}
+}
+
+// TestGCMaxAge checks the age half of the GC contract behind
+// `nocomm cache -max-age`: entries last written before the cutoff go,
+// younger ones stay, and the accounting tracks.
+func TestGCMaxAge(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"old-a", "old-b", "young"} {
+		if err := d.Put(k, Value{P: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := time.Now().Add(-100 * time.Hour)
+	for _, k := range []string{"old-a", "old-b"} {
+		if err := os.Chtimes(d.path(k), stale, stale); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.Stats()
+	entries, bytes, err := d.GC(72*time.Hour, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 2 || bytes <= 0 {
+		t.Errorf("GC removed %d entries, %d bytes; want 2 expired entries", entries, bytes)
+	}
+	st := d.Stats()
+	if st.Entries != 1 || st.Bytes != before.Bytes-bytes {
+		t.Errorf("Stats after GC: %+v (purged %d bytes of %d)", st, bytes, before.Bytes)
+	}
+	if _, ok := d.Get("old-a"); ok {
+		t.Error("expired entry survived GC")
+	}
+	if _, ok := d.Get("young"); !ok {
+		t.Error("young entry did not survive GC")
+	}
+	// A second pass with the same bounds is a no-op.
+	if entries, bytes, err = d.GC(72*time.Hour, -1); err != nil || entries != 0 || bytes != 0 {
+		t.Errorf("repeated GC: %d entries, %d bytes, %v; want no-op", entries, bytes, err)
+	}
+}
+
+// TestGCMaxBytes checks the size half: the oldest entries go first until
+// the tier fits, and maxBytes 0 empties it.
+func TestGCMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"first", "second", "third"}
+	for i, k := range keys {
+		if err := d.Put(k, Value{P: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes, oldest first, without sleeping.
+		ts := time.Now().Add(time.Duration(i-10) * time.Minute)
+		if err := os.Chtimes(d.path(k), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := d.Stats().Bytes
+	// Budget for exactly the two youngest entries: only the oldest goes.
+	oldest, err := os.Stat(d.path("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := total - oldest.Size()
+	entries, bytes, err := d.GC(0, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 1 {
+		t.Errorf("GC removed %d entries, want the single oldest", entries)
+	}
+	if _, ok := d.Get("first"); ok {
+		t.Error("oldest entry survived a size-bound GC")
+	}
+	for _, k := range keys[1:] {
+		if _, ok := d.Get(k); !ok {
+			t.Errorf("entry %q should have survived", k)
+		}
+	}
+	if st := d.Stats(); st.Bytes != total-bytes || st.Bytes > budget {
+		t.Errorf("Stats after GC: %+v, want ≤ %d bytes", st, budget)
+	}
+	// maxBytes 0 empties the tier.
+	if entries, _, err = d.GC(0, 0); err != nil || entries != 2 {
+		t.Errorf("GC to zero: removed %d entries, %v; want the remaining 2", entries, err)
+	}
+	if st := d.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("Stats after GC to zero: %+v", st)
 	}
 }
 
